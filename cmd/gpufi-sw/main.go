@@ -1,0 +1,142 @@
+// Command gpufi-sw runs software fault-injection campaigns (the NVBitFI
+// analog, §IV-B/§VI) on the HPC applications and CNNs, reporting PVF under
+// the selected fault model.
+//
+// Usage:
+//
+//	gpufi-sw [-app MxM|Lava|Quicksort|Hotspot|LUD|Gaussian|LeNet|Yolo]
+//	         [-model bitflip|bitflip2|syndrome|tile] [-db syndromes.json]
+//	         [-n 1000] [-seed S]
+//
+// Without -app, all six HPC applications run under the chosen model.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"gpufi"
+	"gpufi/internal/swfi"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("gpufi-sw: ")
+
+	var (
+		appName = flag.String("app", "", "application (default: all six HPC apps)")
+		model   = flag.String("model", "bitflip", "fault model: bitflip, bitflip2, syndrome, tile")
+		dbPath  = flag.String("db", "", "syndrome database (required for syndrome/tile)")
+		n       = flag.Int("n", 1000, "injections per campaign")
+		seed    = flag.Uint64("seed", 7, "campaign seed")
+	)
+	flag.Parse()
+
+	var db *gpufi.DB
+	if *dbPath != "" {
+		var err error
+		if db, err = gpufi.LoadDB(*dbPath); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	switch *appName {
+	case "LeNet", "Yolo":
+		runCNN(*appName, *model, db, *n, *seed)
+		return
+	}
+
+	fm, ok := parseModel(*model)
+	if !ok {
+		log.Fatalf("unknown model %q", *model)
+	}
+	if fm.NeedsDB() && db == nil {
+		log.Fatal("-db is required for the syndrome model")
+	}
+
+	var workloads []*gpufi.Workload
+	if *appName == "" {
+		workloads = gpufi.HPCSuite()
+	} else {
+		w := findApp(*appName)
+		if w == nil {
+			log.Fatalf("unknown application %q", *appName)
+		}
+		workloads = []*gpufi.Workload{w}
+	}
+
+	for _, w := range workloads {
+		res, err := gpufi.RunCampaign(gpufi.Campaign{
+			Workload: w, Model: fm, DB: db, Injections: *n, Seed: *seed,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		lo, hi := res.PVFCI()
+		t := res.Tally
+		fmt.Printf("%-10s %-26s PVF=%.3f [%.3f, %.3f]  (masked %d, SDC %d, DUE %d)\n",
+			w.Name, fm, res.PVF(), lo, hi, t.Maskeds, t.SDCs(), t.DUEs)
+	}
+}
+
+func runCNN(name, model string, db *gpufi.DB, n int, seed uint64) {
+	var (
+		net      *gpufi.Network
+		input    []float32
+		critical func(a, b []float32) bool
+	)
+	if name == "LeNet" {
+		net, input, critical = gpufi.NewLeNetLite(), gpufi.LeNetInput(0), gpufi.LeNetCritical
+	} else {
+		net, input, critical = gpufi.NewYoloLite(), gpufi.YoloInput(0), gpufi.YoloCritical
+	}
+	var cm swfi.CNNModel
+	switch model {
+	case "bitflip":
+		cm = swfi.CNNBitFlip
+	case "syndrome":
+		cm = swfi.CNNSyndrome
+	case "tile":
+		cm = swfi.CNNTile
+	default:
+		log.Fatalf("CNN model must be bitflip, syndrome or tile (got %q)", model)
+	}
+	if cm != swfi.CNNBitFlip && db == nil {
+		log.Fatal("-db is required for syndrome/tile CNN models")
+	}
+	res, err := gpufi.RunCNNCampaign(gpufi.CNNCampaign{
+		Net: net, Input: input, Model: cm, DB: db,
+		Injections: n, Seed: seed, Critical: critical,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	t := res.Tally
+	fmt.Printf("%-10s %-26s PVF=%.3f  critical SDCs %d/%d (%.1f%%)  (masked %d, DUE %d)\n",
+		name, cm, res.PVF(), res.CriticalSDC, t.SDCs(), 100*res.CriticalShare(), t.Maskeds, t.DUEs)
+}
+
+func parseModel(s string) (gpufi.FaultModel, bool) {
+	switch s {
+	case "bitflip":
+		return gpufi.ModelBitFlip, true
+	case "bitflip2":
+		return gpufi.ModelDoubleBitFlip, true
+	case "syndrome":
+		return gpufi.ModelSyndrome, true
+	case "syndrome-emp":
+		return gpufi.ModelSyndromeEmp, true
+	default:
+		return 0, false
+	}
+}
+
+func findApp(name string) *gpufi.Workload {
+	for _, w := range gpufi.HPCSuite() {
+		if w.Name == name {
+			return w
+		}
+	}
+	return nil
+}

@@ -1,0 +1,52 @@
+// CNN resilience study: reproduce the §VI analysis — LeNET-class and
+// YOLO-class networks under single bit-flips, RTL syndromes, and the
+// multi-thread t-MxM tile corruption, separating tolerable from critical
+// SDCs (misclassifications / misdetections).
+//
+//	go run ./examples/cnn-resilience [-n injections]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"gpufi"
+)
+
+func main() {
+	log.SetFlags(0)
+	n := flag.Int("n", 200, "injections per model")
+	flag.Parse()
+
+	fmt.Println("building the syndrome database (incl. t-MxM characterisation)...")
+	char, err := gpufi.Characterize(gpufi.CharacterizeConfig{
+		FaultsPerCampaign: 1500, TMXMFaults: 2500, Seed: 21,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	lenet, err := gpufi.EvaluateCNN(char.DB, "LeNetLite", gpufi.NewLeNetLite(),
+		gpufi.LeNetInput(0), gpufi.LeNetCritical, gpufi.EvalConfig{Injections: *n, Seed: 22})
+	if err != nil {
+		log.Fatal(err)
+	}
+	yolo, err := gpufi.EvaluateCNN(char.DB, "YoloLite", gpufi.NewYoloLite(),
+		gpufi.YoloInput(0), gpufi.YoloCritical, gpufi.EvalConfig{Injections: *n / 2, Seed: 23})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, c := range []*gpufi.CNNEvaluation{lenet, yolo} {
+		fmt.Printf("\n%s:\n", c.Name)
+		fmt.Printf("  %-28s PVF=%.3f  critical SDC share %.1f%%\n",
+			"single bit-flip", c.BitFlip.PVF(), 100*c.BitFlip.CriticalShare())
+		fmt.Printf("  %-28s PVF=%.3f  critical SDC share %.1f%%\n",
+			"RTL syndrome (single thread)", c.Syndrome.PVF(), 100*c.Syndrome.CriticalShare())
+		fmt.Printf("  %-28s PVF=%.3f  critical SDC share %.1f%%\n",
+			"t-MxM tile (multi thread)", c.Tile.PVF(), 100*c.Tile.CriticalShare())
+	}
+	fmt.Println("\npaper (§VI): only the multi-thread t-MxM model produces substantial misclassifications")
+	fmt.Println("(20% critical for LeNET, 15% for YOLO); single-thread models produce (almost) none.")
+}

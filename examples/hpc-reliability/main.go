@@ -1,0 +1,45 @@
+// HPC reliability study: reproduce the Fig. 10 / Table III comparison —
+// the PVF of six HPC applications under the naive single bit-flip model
+// and under RTL-derived fault syndromes.
+//
+//	go run ./examples/hpc-reliability [-n injections]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"gpufi"
+)
+
+func main() {
+	log.SetFlags(0)
+	n := flag.Int("n", 300, "injections per application per model")
+	flag.Parse()
+
+	fmt.Println("building the syndrome database (full RTL characterisation)...")
+	char, err := gpufi.Characterize(gpufi.CharacterizeConfig{
+		FaultsPerCampaign: 1500, Seed: 11,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("injecting %d faults per application per model...\n", *n)
+	evals, err := gpufi.EvaluateHPC(char.DB, gpufi.HPCSuite(), gpufi.EvalConfig{
+		Injections: *n, Seed: 12,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\n%-10s %-12s %-20s %10s %10s %8s\n",
+		"app", "size", "domain", "bit-flip", "syndrome", "under%")
+	for _, e := range evals {
+		fmt.Printf("%-10s %-12s %-20s %10.3f %10.3f %7.0f%%\n",
+			e.Name, e.Size, e.Domain,
+			e.BitFlip.PVF(), e.Syndrome.PVF(), 100*e.Underestimation())
+	}
+	fmt.Println("\npaper (Table III): the single bit-flip model underestimates PVF by up to 48% (18% avg).")
+}

@@ -1,0 +1,51 @@
+// Quickstart: characterise one instruction at RTL level, then inject the
+// resulting syndromes into a matrix multiplication and compare against the
+// naive single bit-flip model.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gpufi"
+	"gpufi/internal/isa"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// Step 1 — RTL characterisation (reduced scale: one opcode, the
+	// medium input range is implied by the workload's operand values).
+	fmt.Println("characterising FFMA at RTL level (FlexGripPlus analog)...")
+	char, err := gpufi.Characterize(gpufi.CharacterizeConfig{
+		FaultsPerCampaign: 1000,
+		Ops:               []isa.Opcode{isa.OpFFMA, isa.OpFADD},
+		Seed:              1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for key, e := range char.DB.Entries {
+		if e.Fit == nil {
+			continue
+		}
+		fmt.Printf("  %-22s SDCs=%4d  power law alpha=%.2f xmin=%.2g\n",
+			key, e.Tally.SDCs(), e.Fit.Alpha, e.Fit.Xmin)
+	}
+
+	// Step 2 — software injection on a 64x64 matrix multiplication.
+	w := gpufi.NewMxM(64)
+	for _, model := range []gpufi.FaultModel{gpufi.ModelBitFlip, gpufi.ModelSyndrome} {
+		res, err := gpufi.RunCampaign(gpufi.Campaign{
+			Workload: w, Model: model, DB: char.DB,
+			Injections: 200, Seed: 2,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		lo, hi := res.PVFCI()
+		fmt.Printf("MxM under %-26s PVF = %.3f [%.3f, %.3f]\n", model, res.PVF(), lo, hi)
+	}
+}

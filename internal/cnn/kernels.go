@@ -1,0 +1,234 @@
+// Package cnn implements the two convolutional networks of the paper's
+// evaluation — a LeNET-class classifier and a YOLO-class detector — as
+// kernels for the functional emulator, together with the t-MxM tile
+// corruption procedure used to inject multi-thread RTL fault effects into
+// feature maps (§IV-B, §VI).
+//
+// The networks are structurally faithful, deterministic miniatures: the
+// paper's CNN findings rest on masking through ReLU and pooling (LeNET),
+// weaker masking through leaky activations (YOLO), and on the relative
+// footprint of an 8x8 corrupted tile inside a layer — all properties the
+// miniatures preserve (DESIGN.md §2).
+package cnn
+
+import (
+	"fmt"
+
+	"gpufi/internal/isa"
+	"gpufi/internal/kasm"
+)
+
+// Kernel registers.
+const (
+	kTid  = isa.Reg(1)
+	kX    = isa.Reg(2)
+	kY    = isa.Reg(3)
+	kCo   = isa.Reg(4)
+	kCi   = isa.Reg(5)
+	kAcc  = isa.Reg(6)
+	kV    = isa.Reg(7)
+	kW    = isa.Reg(8)
+	kAddr = isa.Reg(9)
+	kTmp  = isa.Reg(10)
+	kCtr  = isa.Reg(11)
+	kBase = isa.Reg(12)
+	kCta  = isa.Reg(13)
+	kNtid = isa.Reg(14)
+)
+
+func log2of(n int) int32 {
+	s := int32(0)
+	for 1<<uint(s) != n {
+		s++
+		if s > 30 {
+			panic(fmt.Sprintf("cnn: %d is not a power of two", n))
+		}
+	}
+	return s
+}
+
+// activation selects the fused non-linearity of a convolution layer.
+type activation uint8
+
+// Activations: none (detection head), ReLU (LeNET), leaky ReLU (YOLO).
+const (
+	actNone activation = iota
+	actReLU
+	actLeaky
+)
+
+// convGeom describes one 3x3 same-padding convolution layer.
+type convGeom struct {
+	inC, h, w int // input channels and spatial size (powers of two)
+	outC      int
+	act       activation
+	inOff     int32
+	outOff    int32
+	wOff      int32 // weights: outC*inC*9 words
+	bOff      int32 // biases: outC words
+}
+
+// buildConv assembles a 3x3 same-padding convolution with fused
+// activation. One thread computes one output element.
+func buildConv(g convGeom) *kasm.Program {
+	b := kasm.New("conv")
+	logW, logH := log2of(g.w), log2of(g.h)
+	b.S2R(kTid, isa.SRTid)
+	b.S2R(kCta, isa.SRCtaid)
+	b.S2R(kNtid, isa.SRNtid)
+	b.IMad(kTid, kCta, kNtid, kTid)
+	b.AndI(kX, kTid, int32(g.w-1))
+	b.Shr(kY, kTid, logW)
+	b.AndI(kY, kY, int32(g.h-1))
+	b.Shr(kCo, kTid, logW+logH)
+	b.ISetPI(isa.P(0), isa.CmpLT, kCo, int32(g.outC))
+	b.If(isa.P(0), func() {
+		// acc = bias[co]
+		b.IAddI(kAddr, kCo, g.bOff)
+		b.Gld(kAcc, kAddr, 0)
+		// Border predicates.
+		b.ISetPI(isa.P(1), isa.CmpGT, kY, 0)            // has row above
+		b.ISetPI(isa.P(2), isa.CmpLT, kY, int32(g.h-1)) // has row below
+		b.ISetPI(isa.P(3), isa.CmpGT, kX, 0)
+		b.ISetPI(isa.P(4), isa.CmpLT, kX, int32(g.w-1))
+
+		// Incrementally maintained bases: centre = inOff + ci*H*W + y*W + x
+		// and wbase = wOff + (co*inC + ci)*9.
+		b.IMadI(kBase, kY, int32(g.w), kX)
+		b.IAddI(kBase, kBase, g.inOff)
+		b.IMulI(kAddr, kCo, int32(g.inC*9))
+		b.IAddI(kAddr, kAddr, g.wOff)
+		b.MovI(kCi, 0)
+		b.Label("ci")
+		{
+			for ky := 0; ky < 3; ky++ {
+				rowBody := func() {
+					for kx := 0; kx < 3; kx++ {
+						off := int32((ky-1)*g.w + (kx - 1))
+						widx := int32(ky*3 + kx)
+						b.MovI(kV, 0)
+						switch kx {
+						case 0:
+							b.GldIf(isa.P(3), kV, kBase, off)
+						case 2:
+							b.GldIf(isa.P(4), kV, kBase, off)
+						default:
+							b.Gld(kV, kBase, off)
+						}
+						b.Gld(kW, kAddr, widx)
+						b.FFma(kAcc, kV, kW, kAcc)
+					}
+				}
+				switch ky {
+				case 0:
+					b.If(isa.P(1), rowBody)
+				case 2:
+					b.If(isa.P(2), rowBody)
+				default:
+					rowBody()
+				}
+			}
+			b.IAddI(kBase, kBase, int32(g.h*g.w))
+			b.IAddI(kAddr, kAddr, 9)
+			b.IAddI(kCi, kCi, 1)
+			b.ISetPI(isa.P(5), isa.CmpLT, kCi, int32(g.inC))
+			b.BraIf(isa.P(5), "ci")
+		}
+		// Activation.
+		switch g.act {
+		case actLeaky:
+			b.MovF(kTmp, 0.1)
+			b.FMul(kTmp, kAcc, kTmp)
+			b.FMax(kAcc, kAcc, kTmp)
+		case actReLU:
+			b.MovI(kTmp, 0)
+			b.FMax(kAcc, kAcc, kTmp)
+		}
+		// out[co][y][x]
+		b.IMulI(kAddr, kCo, int32(g.h*g.w))
+		b.IMadI(kTmp, kY, int32(g.w), kX)
+		b.IAdd(kAddr, kAddr, kTmp)
+		b.Gst(kAddr, g.outOff, kAcc)
+	})
+	return kasm.MustFinalize(b)
+}
+
+// poolGeom describes a 2x2 stride-2 max pooling layer.
+type poolGeom struct {
+	c, h, w int // input geometry; output is c x h/2 x w/2
+	inOff   int32
+	outOff  int32
+}
+
+// buildPool assembles 2x2/2 max pooling; one thread per output element.
+func buildPool(g poolGeom) *kasm.Program {
+	b := kasm.New("pool")
+	ow, oh := g.w/2, g.h/2
+	logW, logH := log2of(ow), log2of(oh)
+	b.S2R(kTid, isa.SRTid)
+	b.S2R(kCta, isa.SRCtaid)
+	b.S2R(kNtid, isa.SRNtid)
+	b.IMad(kTid, kCta, kNtid, kTid)
+	b.AndI(kX, kTid, int32(ow-1))
+	b.Shr(kY, kTid, logW)
+	b.AndI(kY, kY, int32(oh-1))
+	b.Shr(kCo, kTid, logW+logH)
+	b.ISetPI(isa.P(0), isa.CmpLT, kCo, int32(g.c))
+	b.If(isa.P(0), func() {
+		// base = inOff + c*H*W + 2y*W + 2x
+		b.IMulI(kBase, kCo, int32(g.h*g.w))
+		b.IAddI(kBase, kBase, g.inOff)
+		b.IMulI(kTmp, kY, int32(2*g.w))
+		b.IAdd(kBase, kBase, kTmp)
+		b.IMadI(kBase, kX, 2, kBase)
+		b.Gld(kAcc, kBase, 0)
+		b.Gld(kV, kBase, 1)
+		b.FMax(kAcc, kAcc, kV)
+		b.Gld(kV, kBase, int32(g.w))
+		b.FMax(kAcc, kAcc, kV)
+		b.Gld(kV, kBase, int32(g.w+1))
+		b.FMax(kAcc, kAcc, kV)
+		b.IMulI(kAddr, kCo, int32(oh*ow))
+		b.IMadI(kTmp, kY, int32(ow), kX)
+		b.IAdd(kAddr, kAddr, kTmp)
+		b.Gst(kAddr, g.outOff, kAcc)
+	})
+	return kasm.MustFinalize(b)
+}
+
+// fcGeom describes a fully connected layer.
+type fcGeom struct {
+	inN, outN int
+	inOff     int32
+	outOff    int32
+	wOff      int32 // outN*inN words
+	bOff      int32
+}
+
+// buildFC assembles the fully connected layer; one thread per output
+// neuron, no activation (logits).
+func buildFC(g fcGeom) *kasm.Program {
+	b := kasm.New("fc")
+	b.S2R(kTid, isa.SRTid)
+	b.ISetPI(isa.P(0), isa.CmpLT, kTid, int32(g.outN))
+	b.If(isa.P(0), func() {
+		b.IAddI(kAddr, kTid, g.bOff)
+		b.Gld(kAcc, kAddr, 0)
+		b.IMulI(kBase, kTid, int32(g.inN))
+		b.IAddI(kBase, kBase, g.wOff)
+		b.MovI(kCtr, 0)
+		b.Label("iloop")
+		{
+			b.IAddI(kAddr, kCtr, g.inOff)
+			b.Gld(kV, kAddr, 0)
+			b.IAdd(kAddr, kBase, kCtr)
+			b.Gld(kW, kAddr, 0)
+			b.FFma(kAcc, kV, kW, kAcc)
+			b.IAddI(kCtr, kCtr, 1)
+			b.ISetPI(isa.P(1), isa.CmpLT, kCtr, int32(g.inN))
+			b.BraIf(isa.P(1), "iloop")
+		}
+		b.Gst(kTid, g.outOff, kAcc)
+	})
+	return kasm.MustFinalize(b)
+}

@@ -1,0 +1,227 @@
+package cnn
+
+import (
+	"fmt"
+	"math"
+
+	"gpufi/internal/emu"
+	"gpufi/internal/kasm"
+	"gpufi/internal/mxm"
+	"gpufi/internal/stats"
+	"gpufi/internal/syndrome"
+)
+
+// Layer is one network stage with its kernel and memory map.
+type Layer struct {
+	Name    string
+	Prog    *kasm.Program
+	Grid    int
+	Block   int
+	OutOff  int // word offset of the layer's output feature map
+	OutC    int
+	OutH    int
+	OutW    int
+}
+
+// OutWords returns the size of the layer's output.
+func (l *Layer) OutWords() int { return l.OutC * l.OutH * l.OutW }
+
+// Network is a runnable CNN: an activation arena, a weight image and the
+// layer sequence.
+type Network struct {
+	Name    string
+	Layers  []Layer
+	Words   int      // total global image size
+	weights []uint32 // weight/bias image appended after the activations
+	wBase   int      // word offset of the weight image
+	inOff   int
+	inWords int
+	outOff  int
+	outN    int
+}
+
+// InputWords returns the expected input size.
+func (n *Network) InputWords() int { return n.inWords }
+
+// OutputWords returns the network output size.
+func (n *Network) OutputWords() int { return n.outN }
+
+// TileInjection corrupts an 8x8 tile of one layer's output feature map
+// after that layer completes — the software realisation of the t-MxM RTL
+// fault model (§IV-B: "The fault injector picks a random tile during the
+// execution of a random CNN layer and modifies its output elements
+// according to the syndrome").
+type TileInjection struct {
+	Layer   int
+	Channel int
+	Row     int
+	Col     int
+	Corr    syndrome.TileCorruption
+	NegSign bool
+}
+
+// Run executes the network on the input activations. hooks instruments
+// every kernel launch; inj, when non-nil, applies the tile corruption.
+// The returned slice holds the network's raw output (logits or detection
+// maps).
+func (n *Network) Run(input []float32, hooks emu.Hooks, inj *TileInjection) ([]float32, error) {
+	if len(input) != n.inWords {
+		return nil, fmt.Errorf("cnn %s: input %d words, want %d", n.Name, len(input), n.inWords)
+	}
+	g := make([]uint32, n.Words)
+	for i, v := range input {
+		g[n.inOff+i] = math.Float32bits(v)
+	}
+	copy(g[n.wBase:], n.weights)
+	for li := range n.Layers {
+		l := &n.Layers[li]
+		if _, err := emu.Run(&emu.Launch{
+			Prog: l.Prog, Grid: l.Grid, Block: l.Block,
+			Global: g, Hooks: hooks,
+		}); err != nil {
+			return nil, fmt.Errorf("cnn %s layer %s: %w", n.Name, l.Name, err)
+		}
+		if inj != nil && inj.Layer == li {
+			n.applyTile(g, l, inj)
+		}
+	}
+	out := make([]float32, n.outN)
+	for i := range out {
+		out[i] = math.Float32frombits(g[n.outOff+i])
+	}
+	return out, nil
+}
+
+// applyTile corrupts the 8x8 tile of the layer output.
+func (n *Network) applyTile(g []uint32, l *Layer, inj *TileInjection) {
+	ch := inj.Channel % l.OutC
+	r0 := clampTile(inj.Row, l.OutH)
+	c0 := clampTile(inj.Col, l.OutW)
+	for i, bad := range inj.Corr.Mask {
+		if !bad {
+			continue
+		}
+		dr, dc := i/mxm.Tile, i%mxm.Tile
+		r, c := r0+dr, c0+dc
+		if r >= l.OutH || c >= l.OutW {
+			continue
+		}
+		idx := l.OutOff + ch*l.OutH*l.OutW + r*l.OutW + c
+		g[idx] = syndrome.ApplyRelErrF32(g[idx], inj.Corr.RelErr[i], inj.NegSign)
+	}
+}
+
+// clampTile positions an 8x8 tile origin inside a dimension that may be
+// smaller than the tile.
+func clampTile(pos, dim int) int {
+	if dim <= mxm.Tile {
+		return 0
+	}
+	max := dim - mxm.Tile
+	if pos < 0 {
+		pos = 0
+	}
+	return pos % (max + 1)
+}
+
+// RandomTileInjection draws a uniformly placed tile corruption for the
+// network from the syndrome database. ok is false when the database holds
+// no t-MxM characterisation.
+func (n *Network) RandomTileInjection(db *syndrome.DB, r *stats.RNG) (*TileInjection, bool) {
+	corr, ok := db.SampleTile(r)
+	if !ok {
+		return nil, false
+	}
+	// Tiles corrupt convolution outputs (the MxM-equivalent layers):
+	// exclude the final layer index only if there are alternatives.
+	li := r.Intn(len(n.Layers))
+	l := &n.Layers[li]
+	return &TileInjection{
+		Layer:   li,
+		Channel: r.Intn(l.OutC),
+		Row:     r.Intn(maxi(1, l.OutH-mxm.Tile+1)),
+		Col:     r.Intn(maxi(1, l.OutW-mxm.Tile+1)),
+		Corr:    corr,
+		NegSign: r.Bool(),
+	}, true
+}
+
+func maxi(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// netBuilder accumulates layers and the weight image.
+type netBuilder struct {
+	n       *Network
+	actTop  int // activation arena watermark
+	weights []float32
+	rng     *stats.RNG
+}
+
+func newNetBuilder(name string, inC, inH, inW int, seed uint64) *netBuilder {
+	nb := &netBuilder{
+		n:   &Network{Name: name, inOff: 0, inWords: inC * inH * inW},
+		rng: stats.NewRNG(seed),
+	}
+	nb.actTop = nb.n.inWords
+	return nb
+}
+
+// wAppend adds He-style uniform weights to the weight image and returns
+// their offset relative to the weight base.
+func (nb *netBuilder) wAppend(count, fanIn int) int {
+	scale := math.Sqrt(3.0 / float64(fanIn))
+	off := len(nb.weights)
+	for i := 0; i < count; i++ {
+		nb.weights = append(nb.weights, float32(nb.rng.Float64Range(-scale, scale)))
+	}
+	return off
+}
+
+// bAppend adds small biases.
+func (nb *netBuilder) bAppend(count int) int {
+	off := len(nb.weights)
+	for i := 0; i < count; i++ {
+		nb.weights = append(nb.weights, float32(nb.rng.Float64Range(-0.05, 0.05)))
+	}
+	return off
+}
+
+// finalize resolves weight offsets (which depend on the arena size) by
+// rebuilding layer programs through the provided closures.
+type pendingLayer struct {
+	name          string
+	build         func(wBase int32) *kasm.Program
+	threads       int
+	outOff        int
+	outC, outH, outW int
+}
+
+func (nb *netBuilder) finish(pending []pendingLayer, outN int) *Network {
+	n := nb.n
+	n.wBase = nb.actTop
+	n.Words = nb.actTop + len(nb.weights)
+	n.weights = make([]uint32, len(nb.weights))
+	for i, v := range nb.weights {
+		n.weights[i] = math.Float32bits(v)
+	}
+	for _, pl := range pending {
+		block := 128
+		if pl.threads < block {
+			block = pl.threads
+		}
+		grid := (pl.threads + block - 1) / block
+		n.Layers = append(n.Layers, Layer{
+			Name: pl.name, Prog: pl.build(int32(n.wBase)),
+			Grid: grid, Block: block,
+			OutOff: pl.outOff, OutC: pl.outC, OutH: pl.outH, OutW: pl.outW,
+		})
+	}
+	last := n.Layers[len(n.Layers)-1]
+	n.outOff = last.OutOff
+	n.outN = outN
+	return n
+}

@@ -1,0 +1,311 @@
+// Package core implements the paper's primary contribution: the two-level
+// fault-injection framework (Fig. 2). The expensive RTL characterisation
+// runs once, over the 12 common SASS instructions and the t-MxM mini-app,
+// and populates the syndrome database; the fast software injector then
+// propagates those RTL-accurate fault effects through complete HPC
+// applications and CNNs, producing the Program Vulnerability Factors of
+// Fig. 10 / Table III at a cost reduced from years of RTL simulation to
+// minutes (§VI).
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"gpufi/internal/apps"
+	"gpufi/internal/cnn"
+	"gpufi/internal/faults"
+	"gpufi/internal/isa"
+	"gpufi/internal/mxm"
+	"gpufi/internal/rtl"
+	"gpufi/internal/rtlfi"
+	"gpufi/internal/swfi"
+	"gpufi/internal/syndrome"
+)
+
+// CharacterizeConfig controls the RTL phase. The zero value is usable for
+// quick runs; the paper's campaigns use 12000+ faults each.
+type CharacterizeConfig struct {
+	FaultsPerCampaign int // default 2000
+	TMXMFaults        int // default FaultsPerCampaign
+	Seed              uint64
+	Workers           int
+	Ops               []isa.Opcode        // default: the 12 characterised opcodes
+	Ranges            []faults.InputRange // default: S, M, L
+}
+
+func (c *CharacterizeConfig) defaults() {
+	if c.FaultsPerCampaign == 0 {
+		c.FaultsPerCampaign = 2000
+	}
+	if c.TMXMFaults == 0 {
+		c.TMXMFaults = c.FaultsPerCampaign
+	}
+	if len(c.Ops) == 0 {
+		c.Ops = isa.CharacterizedOpcodes()
+	}
+	if len(c.Ranges) == 0 {
+		c.Ranges = faults.AllRanges()
+	}
+}
+
+// Characterization is the output of the RTL phase: the syndrome database
+// plus the raw campaign results backing Figs. 4–9 and Table II.
+type Characterization struct {
+	DB    *syndrome.DB
+	Micro []*rtlfi.Result
+	TMXM  []*rtlfi.TMXMResult
+}
+
+// Characterize runs the complete RTL fault-injection phase: for every
+// characterised opcode, input range and exercised module, one
+// micro-benchmark campaign; plus t-MxM campaigns on the scheduler and
+// pipeline for the three tile kinds (§V).
+func Characterize(cfg CharacterizeConfig) (*Characterization, error) {
+	cfg.defaults()
+	out := &Characterization{DB: syndrome.New()}
+	seed := cfg.Seed
+	for _, op := range cfg.Ops {
+		for _, rng := range cfg.Ranges {
+			for _, mod := range faults.AllModules() {
+				if !rtlfi.ModuleUsed(mod, op) {
+					continue
+				}
+				seed++
+				res, err := rtlfi.RunMicro(rtlfi.Spec{
+					Op: op, Range: rng, Module: mod,
+					NumFaults: cfg.FaultsPerCampaign,
+					Seed:      seed, Workers: cfg.Workers,
+				})
+				if err != nil {
+					return nil, fmt.Errorf("core: %s/%s/%s: %w", op, rng, mod, err)
+				}
+				out.Micro = append(out.Micro, res)
+				out.DB.AddMicro(res)
+			}
+		}
+	}
+	for _, mod := range []faults.Module{faults.ModSched, faults.ModPipe} {
+		for _, kind := range mxm.AllTileKinds() {
+			seed++
+			res, err := rtlfi.RunTMXM(rtlfi.TMXMSpec{
+				Module: mod, Kind: kind,
+				NumFaults: cfg.TMXMFaults,
+				Seed:      seed, Workers: cfg.Workers,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("core: t-MxM %s/%s: %w", mod, kind, err)
+			}
+			out.TMXM = append(out.TMXM, res)
+			out.DB.AddTMXM(res)
+		}
+	}
+	return out, nil
+}
+
+// AVFRow is one Fig. 4 data point: a module x instruction cell averaged
+// over the input ranges.
+type AVFRow struct {
+	Module     faults.Module
+	Op         isa.Opcode
+	SDCSingle  float64
+	SDCMulti   float64
+	DUE        float64
+	AvgThreads float64
+}
+
+// AVFTable aggregates the micro campaigns into Fig. 4 rows.
+func (c *Characterization) AVFTable() []AVFRow {
+	type key struct {
+		mod faults.Module
+		op  isa.Opcode
+	}
+	agg := map[key]*faults.Tally{}
+	for _, res := range c.Micro {
+		k := key{res.Spec.Module, res.Spec.Op}
+		if agg[k] == nil {
+			agg[k] = &faults.Tally{}
+		}
+		agg[k].Merge(res.Tally)
+	}
+	var rows []AVFRow
+	for _, mod := range faults.AllModules() {
+		for _, op := range isa.CharacterizedOpcodes() {
+			t, ok := agg[key{mod, op}]
+			if !ok {
+				continue
+			}
+			n := float64(t.Injections)
+			rows = append(rows, AVFRow{
+				Module:     mod,
+				Op:         op,
+				SDCSingle:  float64(t.SDCSingle) / n,
+				SDCMulti:   float64(t.SDCMulti) / n,
+				DUE:        float64(t.DUEs) / n,
+				AvgThreads: t.AvgThreads(),
+			})
+		}
+	}
+	return rows
+}
+
+// ModuleCriticality ranks modules by AVF weighted with module size, the
+// paper's proxy for "likely source of most SDCs/DUEs" (§V-B: "functional
+// units, having a huge size and high AVF, are likely to be the source of
+// most SDCs, while pipelines are likely to be the cause of most DUEs").
+type ModuleCriticality struct {
+	Module      faults.Module
+	Size        int
+	AVFSDC      float64
+	AVFDUE      float64
+	WeightedSDC float64 // AVF x size
+	WeightedDUE float64
+}
+
+// RankModules computes the hardening-priority ranking.
+func (c *Characterization) RankModules() []ModuleCriticality {
+	agg := map[faults.Module]*faults.Tally{}
+	for _, res := range c.Micro {
+		if agg[res.Spec.Module] == nil {
+			agg[res.Spec.Module] = &faults.Tally{}
+		}
+		agg[res.Spec.Module].Merge(res.Tally)
+	}
+	var out []ModuleCriticality
+	for _, mod := range faults.AllModules() {
+		t, ok := agg[mod]
+		if !ok {
+			continue
+		}
+		size := rtl.ModuleBits(mod)
+		mc := ModuleCriticality{
+			Module: mod, Size: size,
+			AVFSDC: t.AVFSDC(), AVFDUE: t.AVFDUE(),
+		}
+		mc.WeightedSDC = mc.AVFSDC * float64(size)
+		mc.WeightedDUE = mc.AVFDUE * float64(size)
+		out = append(out, mc)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].WeightedSDC > out[j].WeightedSDC })
+	return out
+}
+
+// EvalConfig controls the software phase.
+type EvalConfig struct {
+	Injections int // per application per model; default 500
+	Seed       uint64
+	Workers    int
+}
+
+func (c *EvalConfig) defaults() {
+	if c.Injections == 0 {
+		c.Injections = 500
+	}
+}
+
+// AppEvaluation is one Table III row: the PVF under the naive bit-flip
+// model and under the RTL syndrome model.
+type AppEvaluation struct {
+	Name, Domain, Size string
+	BitFlip            *swfi.Result
+	Syndrome           *swfi.Result
+}
+
+// Underestimation is the paper's headline ratio: how much the bit-flip
+// model understates the syndrome PVF (§VI reports up to 48%).
+func (e *AppEvaluation) Underestimation() float64 {
+	if e.Syndrome.PVF() == 0 {
+		return 0
+	}
+	return (e.Syndrome.PVF() - e.BitFlip.PVF()) / e.Syndrome.PVF()
+}
+
+// EvaluateHPC runs both fault models over the workloads (Fig. 10).
+func EvaluateHPC(db *syndrome.DB, workloads []*apps.Workload, cfg EvalConfig) ([]*AppEvaluation, error) {
+	cfg.defaults()
+	var out []*AppEvaluation
+	for i, w := range workloads {
+		flip, err := swfi.Run(swfi.Campaign{
+			Workload: w, Model: swfi.ModelBitFlip,
+			Injections: cfg.Injections, Seed: cfg.Seed + uint64(i)*2, Workers: cfg.Workers,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: %s bit-flip: %w", w.Name, err)
+		}
+		syn, err := swfi.Run(swfi.Campaign{
+			Workload: w, Model: swfi.ModelSyndrome, DB: db,
+			Injections: cfg.Injections, Seed: cfg.Seed + uint64(i)*2 + 1, Workers: cfg.Workers,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: %s syndrome: %w", w.Name, err)
+		}
+		out = append(out, &AppEvaluation{
+			Name: w.Name, Domain: w.Domain, Size: w.Size,
+			BitFlip: flip, Syndrome: syn,
+		})
+	}
+	return out, nil
+}
+
+// CNNEvaluation is the CNN section of Table III plus the t-MxM model and
+// the critical-SDC analysis of §VI.
+type CNNEvaluation struct {
+	Name     string
+	BitFlip  *swfi.CNNResult
+	Syndrome *swfi.CNNResult
+	Tile     *swfi.CNNResult
+}
+
+// EvaluateCNN runs the three fault models over one network.
+func EvaluateCNN(db *syndrome.DB, name string, net *cnn.Network, input []float32,
+	critical func(a, b []float32) bool, cfg EvalConfig) (*CNNEvaluation, error) {
+	cfg.defaults()
+	out := &CNNEvaluation{Name: name}
+	run := func(model swfi.CNNModel, seed uint64) (*swfi.CNNResult, error) {
+		return swfi.RunCNN(swfi.CNNCampaign{
+			Net: net, Input: input, Model: model, DB: db,
+			Injections: cfg.Injections, Seed: seed, Workers: cfg.Workers,
+			Critical: critical,
+		})
+	}
+	var err error
+	if out.BitFlip, err = run(swfi.CNNBitFlip, cfg.Seed+11); err != nil {
+		return nil, err
+	}
+	if out.Syndrome, err = run(swfi.CNNSyndrome, cfg.Seed+12); err != nil {
+		return nil, err
+	}
+	if out.Tile, err = run(swfi.CNNTile, cfg.Seed+13); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// FITEstimate combines a module's size-weighted AVF with a raw per-bit
+// fault rate into a module-level FIT contribution — the evaluation the
+// paper defers to future work for lack of public technology data ("the
+// modules AVF should be weighted with the module relative size ... a more
+// accurate evaluation would consider the fault rate of the different
+// modules", §V-B/§VII). rawFITPerBit is the assumed technology FIT per
+// flip-flop (from beam tests or vendor data).
+type FITEstimate struct {
+	Module faults.Module
+	FFs    int
+	SDCFIT float64
+	DUEFIT float64
+}
+
+// EstimateFIT computes per-module FIT contributions.
+func (c *Characterization) EstimateFIT(rawFITPerBit float64) []FITEstimate {
+	var out []FITEstimate
+	for _, mc := range c.RankModules() {
+		out = append(out, FITEstimate{
+			Module: mc.Module,
+			FFs:    mc.Size,
+			SDCFIT: rawFITPerBit * float64(mc.Size) * mc.AVFSDC,
+			DUEFIT: rawFITPerBit * float64(mc.Size) * mc.AVFDUE,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].SDCFIT > out[j].SDCFIT })
+	return out
+}

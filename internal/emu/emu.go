@@ -1,0 +1,179 @@
+// Package emu is the functional SIMT emulator: the "real GPU" substrate on
+// which the software-level fault injector (internal/swfi, the NVBitFI
+// analog) runs complete applications at speed.
+//
+// It executes the same SASS-like programs as the RTL model (internal/rtl)
+// — warp-lockstep with a PDOM reconvergence stack, block-wide barriers and
+// word-addressed global/shared memory — but keeps no micro-architectural
+// state, so a kernel that takes hours of RTL simulation runs in
+// microseconds here. Instrumentation hooks expose every executed
+// instruction with its operand and result values, which is exactly the
+// ISA-visible state NVBitFI can reach on real hardware.
+package emu
+
+import (
+	"errors"
+	"fmt"
+
+	"gpufi/internal/isa"
+	"gpufi/internal/kasm"
+)
+
+// WarpSize is the number of threads that execute in lockstep, as on all
+// NVIDIA architectures.
+const WarpSize = 32
+
+// MaxBlockThreads bounds threads per block (G80 limit).
+const MaxBlockThreads = 512
+
+// DefaultMaxDynInstrs is the watchdog budget of thread-level instructions
+// per launch when Launch.MaxDynInstrs is zero.
+const DefaultMaxDynInstrs = 1 << 32
+
+// maxStackDepth bounds SIMT divergence nesting.
+const maxStackDepth = 64
+
+// Emulator failure modes. The software fault injector classifies any of
+// these as a DUE (the application crashed or hung).
+var (
+	ErrWatchdog          = errors.New("emu: watchdog expired (hang)")
+	ErrBadAddress        = errors.New("emu: memory access out of range")
+	ErrBarrierDivergence = errors.New("emu: barrier reached by diverged warp")
+	ErrDeadlock          = errors.New("emu: barrier deadlock")
+	ErrUnstructured      = errors.New("emu: divergent branch without reconvergence point")
+	ErrStackOverflow     = errors.New("emu: SIMT stack overflow")
+	ErrIllegalInstr      = errors.New("emu: illegal instruction")
+	ErrBadLaunch         = errors.New("emu: invalid launch configuration")
+)
+
+// LaunchError annotates an emulator failure with its location.
+type LaunchError struct {
+	Block int
+	Warp  int
+	PC    int
+	Err   error
+}
+
+// Error implements the error interface.
+func (e *LaunchError) Error() string {
+	return fmt.Sprintf("block %d warp %d pc %d: %v", e.Block, e.Warp, e.PC, e.Err)
+}
+
+// Unwrap exposes the underlying failure mode to errors.Is.
+func (e *LaunchError) Unwrap() error { return e.Err }
+
+// Launch describes one kernel invocation.
+type Launch struct {
+	Prog         *kasm.Program
+	Grid         int      // number of blocks
+	Block        int      // threads per block (max MaxBlockThreads)
+	Global       []uint32 // global memory, shared across blocks; mutated in place
+	SharedWords  int      // shared-memory words per block
+	Hooks        Hooks    // optional instrumentation
+	MaxDynInstrs uint64   // watchdog; DefaultMaxDynInstrs when zero
+}
+
+// Result reports execution statistics.
+type Result struct {
+	// DynThreadInstrs counts executed thread-level instructions (one
+	// warp-level instruction with k active threads counts k).
+	DynThreadInstrs uint64
+	// PerOpcode breaks DynThreadInstrs down by opcode, the raw data for
+	// the paper's Fig. 3 instruction profiles.
+	PerOpcode [isa.NumOpcodes]uint64
+}
+
+// Run executes the launch to completion. On error the returned Result
+// still carries the counts accumulated so far.
+func Run(l *Launch) (Result, error) {
+	ex := &exec{l: l, budget: l.MaxDynInstrs}
+	if ex.budget == 0 {
+		ex.budget = DefaultMaxDynInstrs
+	}
+	if err := ex.validate(); err != nil {
+		return ex.res, err
+	}
+	for b := 0; b < l.Grid; b++ {
+		if err := ex.runBlock(b); err != nil {
+			return ex.res, err
+		}
+	}
+	return ex.res, nil
+}
+
+type exec struct {
+	l      *Launch
+	res    Result
+	budget uint64
+	shared []uint32
+	ev     Event
+}
+
+func (ex *exec) validate() error {
+	l := ex.l
+	switch {
+	case l.Prog == nil || len(l.Prog.Instrs) == 0:
+		return fmt.Errorf("%w: empty program", ErrBadLaunch)
+	case l.Grid <= 0:
+		return fmt.Errorf("%w: grid %d", ErrBadLaunch, l.Grid)
+	case l.Block <= 0 || l.Block > MaxBlockThreads:
+		return fmt.Errorf("%w: block %d", ErrBadLaunch, l.Block)
+	case len(l.Prog.Instrs) > 0xFFFF:
+		return fmt.Errorf("%w: program too large", ErrBadLaunch)
+	}
+	return nil
+}
+
+func (ex *exec) runBlock(blockID int) error {
+	l := ex.l
+	if cap(ex.shared) < l.SharedWords {
+		ex.shared = make([]uint32, l.SharedWords)
+	}
+	ex.shared = ex.shared[:l.SharedWords]
+	for i := range ex.shared {
+		ex.shared[i] = 0
+	}
+
+	nwarps := (l.Block + WarpSize - 1) / WarpSize
+	warps := make([]*warp, nwarps)
+	for w := 0; w < nwarps; w++ {
+		lanes := l.Block - w*WarpSize
+		if lanes > WarpSize {
+			lanes = WarpSize
+		}
+		warps[w] = newWarp(w, lanes)
+	}
+
+	for {
+		for _, w := range warps {
+			for !w.done && !w.atBar {
+				if err := ex.step(blockID, w); err != nil {
+					return err
+				}
+			}
+		}
+		allDone, anyBar := true, false
+		for _, w := range warps {
+			if !w.done {
+				allDone = false
+				if w.atBar {
+					anyBar = true
+				}
+			}
+		}
+		if allDone {
+			return nil
+		}
+		if !anyBar {
+			return &LaunchError{Block: blockID, Err: ErrDeadlock}
+		}
+		// Every live warp is parked at the barrier: release them all.
+		// (Warps that exited without reaching the barrier do not
+		// participate, matching permissive hardware semantics.)
+		for _, w := range warps {
+			if !w.done {
+				w.atBar = false
+			}
+		}
+	}
+}

@@ -1,0 +1,243 @@
+package emu
+
+import (
+	"errors"
+	"testing"
+
+	"gpufi/internal/isa"
+	"gpufi/internal/kasm"
+)
+
+// TestDeepNestedDivergence drives the SIMT stack towards its depth bound
+// without crossing it: 20 nested if-then regions.
+func TestDeepNestedDivergence(t *testing.T) {
+	b := kasm.New("deep")
+	b.S2R(rTid, isa.SRTid)
+	b.MovI(rC, 0)
+	var nest func(depth int)
+	nest = func(depth int) {
+		if depth == 0 {
+			b.IAddI(rC, rC, 1)
+			return
+		}
+		b.AndI(rTmp, rTid, int32(1<<uint(depth%5)))
+		b.ISetPI(isa.P(0), isa.CmpEQ, rTmp, 0)
+		b.If(isa.P(0), func() {
+			b.IAddI(rC, rC, 1)
+			nest(depth - 1)
+		})
+	}
+	nest(20)
+	b.Gst(rTid, 0, rC)
+	prog, err := b.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	global := make([]uint32, 32)
+	if _, err := Run(&Launch{Prog: prog, Grid: 1, Block: 32, Global: global}); err != nil {
+		t.Fatal(err)
+	}
+	// Thread 0 passes every even-bit test: it reaches the innermost body.
+	if global[0] != 21 {
+		t.Errorf("thread 0 depth counter = %d, want 21", global[0])
+	}
+}
+
+// TestEventRegisterAccessors exercises the generic register/predicate
+// access surface of the instrumentation Event.
+func TestEventRegisterAccessors(t *testing.T) {
+	b := kasm.New("acc")
+	b.S2R(rTid, isa.SRTid)
+	b.MovI(rA, 42)
+	b.ISetPI(isa.P(2), isa.CmpLT, rTid, 4)
+	b.Nop()
+	b.Gst(rTid, 0, rA)
+	prog, err := b.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	global := make([]uint32, 32)
+	checked := false
+	hooks := Hooks{Post: func(ev *Event) {
+		if ev.Instr.Op != isa.OpNOP {
+			return
+		}
+		checked = true
+		if got := ev.Reg(3, rA); got != 42 {
+			t.Errorf("Reg = %d, want 42", got)
+		}
+		if ev.Reg(3, isa.RZ) != 0 {
+			t.Error("RZ must read 0 through the event")
+		}
+		if !ev.PredBit(3, 2) || ev.PredBit(10, 2) {
+			t.Error("PredBit mismatch (P2 = tid < 4)")
+		}
+		ev.SetReg(5, rA, 77)
+		ev.SetReg(6, isa.RZ, 99) // must be dropped
+		ev.SetPredBit(3, 7, false) // PT is read-only
+	}}
+	if _, err := Run(&Launch{Prog: prog, Grid: 1, Block: 32, Global: global, Hooks: hooks}); err != nil {
+		t.Fatal(err)
+	}
+	if !checked {
+		t.Fatal("hook never fired")
+	}
+	if global[5] != 77 {
+		t.Errorf("SetReg result = %d, want 77", global[5])
+	}
+	if global[6] != 42 {
+		t.Errorf("RZ write leaked: %d", global[6])
+	}
+}
+
+// TestShiftLogicSelectOps validates the support ALU ops against host
+// arithmetic.
+func TestShiftLogicSelectOps(t *testing.T) {
+	b := kasm.New("alu")
+	b.S2R(rTid, isa.SRTid)
+	b.MovI(rA, -8)            // 0xFFFFFFF8
+	b.Shl(rB, rA, 4)          // 0xFFFFFF80
+	b.Gst(rTid, 0, rB)
+	b.Shr(rB, rA, 4)          // logical: 0x0FFFFFFF
+	b.Gst(rTid, 32, rB)
+	b.MovI(rC, 0x0F0F)
+	b.And(rB, rA, rC)
+	b.Gst(rTid, 64, rB)
+	b.Or(rB, rA, rC)
+	b.Gst(rTid, 96, rB)
+	b.Xor(rB, rA, rC)
+	b.Gst(rTid, 128, rB)
+	b.MovI(rC, 5)
+	b.IMin(rB, rA, rC)
+	b.Gst(rTid, 160, rB)
+	b.IMax(rB, rA, rC)
+	b.Gst(rTid, 192, rB)
+	b.ISetPI(isa.P(1), isa.CmpGT, rTid, 15)
+	b.Sel(rB, rA, rC, isa.P(1))
+	b.Gst(rTid, 224, rB)
+	prog, err := b.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	global := make([]uint32, 256)
+	if _, err := Run(&Launch{Prog: prog, Grid: 1, Block: 32, Global: global}); err != nil {
+		t.Fatal(err)
+	}
+	a := uint32(0xFFFFFFF8)
+	c := uint32(0x0F0F)
+	if global[0] != a<<4 {
+		t.Errorf("SHL = %#x", global[0])
+	}
+	if global[32] != a>>4 {
+		t.Errorf("SHR = %#x (must be logical)", global[32])
+	}
+	if global[64] != a&c || global[96] != a|c || global[128] != a^c {
+		t.Error("AND/OR/XOR wrong")
+	}
+	if int32(global[160]) != -8 || int32(global[192]) != 5 {
+		t.Errorf("IMNMX = %d/%d", int32(global[160]), int32(global[192]))
+	}
+	if global[224] != 5 { // tid 0: P1 false -> selects rC (now 5)
+		t.Errorf("SEL lane 0 = %#x", global[224])
+	}
+	if global[224+16] != a { // tid 16: P1 true -> selects rA
+		t.Errorf("SEL lane 16 = %#x", global[224+16])
+	}
+}
+
+// TestF2II2FThroughKernel validates the conversion ops end to end.
+func TestF2II2FThroughKernel(t *testing.T) {
+	b := kasm.New("cvt")
+	b.S2R(rTid, isa.SRTid)
+	b.MovF(rA, -3.75)
+	b.F2I(rB, rA)
+	b.Gst(rTid, 0, rB)
+	b.MovI(rA, -17)
+	b.I2F(rB, rA)
+	b.Gst(rTid, 32, rB)
+	prog, err := b.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	global := make([]uint32, 64)
+	if _, err := Run(&Launch{Prog: prog, Grid: 1, Block: 1, Global: global}); err != nil {
+		t.Fatal(err)
+	}
+	if int32(global[0]) != -3 {
+		t.Errorf("F2I(-3.75) = %d, want -3 (truncate)", int32(global[0]))
+	}
+	if fromBits(global[32]) != -17 {
+		t.Errorf("I2F(-17) = %v", fromBits(global[32]))
+	}
+}
+
+// TestSharedOutOfBoundsIsDUE mirrors the global OOB test for shared memory.
+func TestSharedOutOfBoundsIsDUE(t *testing.T) {
+	b := kasm.New("soob")
+	b.MovI(rAddr, 100)
+	b.Sld(rA, rAddr, 0)
+	prog, err := b.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Run(&Launch{Prog: prog, Grid: 1, Block: 32, SharedWords: 16})
+	if !errors.Is(err, ErrBadAddress) {
+		t.Errorf("err = %v, want ErrBadAddress", err)
+	}
+}
+
+// TestNegativeAddressIsDUE checks signed address interpretation.
+func TestNegativeAddressIsDUE(t *testing.T) {
+	b := kasm.New("neg")
+	b.MovI(rAddr, -5)
+	b.Gld(rA, rAddr, 0)
+	prog, err := b.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Run(&Launch{Prog: prog, Grid: 1, Block: 1, Global: make([]uint32, 16)})
+	if !errors.Is(err, ErrBadAddress) {
+		t.Errorf("err = %v, want ErrBadAddress", err)
+	}
+}
+
+// TestImmediateOffsetAddressing verifies positive and negative word
+// offsets on loads/stores.
+func TestImmediateOffsetAddressing(t *testing.T) {
+	b := kasm.New("off")
+	b.MovI(rAddr, 8)
+	b.Gld(rA, rAddr, -3) // word 5
+	b.Gst(rAddr, 4, rA)  // word 12
+	prog, err := b.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	global := make([]uint32, 16)
+	global[5] = 1234
+	if _, err := Run(&Launch{Prog: prog, Grid: 1, Block: 1, Global: global}); err != nil {
+		t.Fatal(err)
+	}
+	if global[12] != 1234 {
+		t.Errorf("offset addressing result = %d", global[12])
+	}
+}
+
+// TestResultCountsExcludeInactiveLanes checks that guarded-off lanes are
+// not counted (the basis of the NVBitFI-style dynamic instruction index).
+func TestResultCountsExcludeInactiveLanes(t *testing.T) {
+	b := kasm.New("cnt")
+	b.S2R(rTid, isa.SRTid)
+	b.ISetPI(isa.P(0), isa.CmpLT, rTid, 5)
+	b.Emit(isa.Instr{Op: isa.OpIADD, Guard: isa.P(0), Dst: rA, SrcA: rTid, SrcB: rTid})
+	prog, err := b.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(&Launch{Prog: prog, Grid: 1, Block: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PerOpcode[isa.OpIADD] != 5 {
+		t.Errorf("guarded IADD count = %d, want 5", res.PerOpcode[isa.OpIADD])
+	}
+}

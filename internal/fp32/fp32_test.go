@@ -1,0 +1,347 @@
+package fp32
+
+import (
+	"math"
+	"math/big"
+	"testing"
+
+	"gpufi/internal/stats"
+)
+
+// refOp computes the exactly rounded float32 result of an operation using
+// arbitrary-precision arithmetic, with FTZ applied to inputs and output —
+// the ground truth for the package's datapath implementations.
+func refFma(a, b, c float32) float32 {
+	a, b, c = FTZ(a), FTZ(b), FTZ(c)
+	if isSpecial(a) || isSpecial(b) || isSpecial(c) {
+		panic("refFma: special values handled separately")
+	}
+	bigA := new(big.Float).SetPrec(200).SetFloat64(float64(a))
+	bigB := new(big.Float).SetPrec(200).SetFloat64(float64(b))
+	bigC := new(big.Float).SetPrec(200).SetFloat64(float64(c))
+	p := new(big.Float).SetPrec(200).Mul(bigA, bigB)
+	s := new(big.Float).SetPrec(200).Add(p, bigC)
+	f, _ := s.Float32()
+	return FTZ(f)
+}
+
+func isSpecial(f float32) bool {
+	return f != f || math.IsInf(float64(f), 0)
+}
+
+func randFloat(r *stats.RNG) float32 {
+	// Mix of full-range bit patterns and moderate values.
+	if r.Bool() {
+		return math.Float32frombits(uint32(r.Uint64()))
+	}
+	return float32(r.Float64Range(-1e6, 1e6))
+}
+
+func finiteNormal(f float32) bool {
+	if isSpecial(f) {
+		return false
+	}
+	b := math.Float32bits(f)
+	return b&0x7F800000 != 0 || b&0x7FFFFF == 0 // not subnormal
+}
+
+func TestAddMatchesExactReference(t *testing.T) {
+	r := stats.NewRNG(101)
+	for i := 0; i < 200000; i++ {
+		a, b := randFloat(r), randFloat(r)
+		if !finiteNormal(a) || !finiteNormal(b) {
+			continue
+		}
+		got := Add(a, b)
+		want := refFma(a, 1, b)
+		if math.Float32bits(got) != math.Float32bits(want) {
+			t.Fatalf("Add(%x, %x) = %x, want %x",
+				math.Float32bits(a), math.Float32bits(b),
+				math.Float32bits(got), math.Float32bits(want))
+		}
+	}
+}
+
+func TestMulMatchesExactReference(t *testing.T) {
+	r := stats.NewRNG(102)
+	for i := 0; i < 200000; i++ {
+		a, b := randFloat(r), randFloat(r)
+		if !finiteNormal(a) || !finiteNormal(b) {
+			continue
+		}
+		got := Mul(a, b)
+		// Exact product then single rounding; zero product keeps sign.
+		want := FTZ(float32(float64(FTZ(a)) * float64(FTZ(b)))) // exact in float64
+		if math.Float32bits(got) != math.Float32bits(want) {
+			t.Fatalf("Mul(%x, %x) = %x, want %x",
+				math.Float32bits(a), math.Float32bits(b),
+				math.Float32bits(got), math.Float32bits(want))
+		}
+	}
+}
+
+func TestFmaMatchesExactReference(t *testing.T) {
+	r := stats.NewRNG(103)
+	for i := 0; i < 200000; i++ {
+		a, b, c := randFloat(r), randFloat(r), randFloat(r)
+		if !finiteNormal(a) || !finiteNormal(b) || !finiteNormal(c) {
+			continue
+		}
+		got := Fma(a, b, c)
+		want := refFma(a, b, c)
+		gb, wb := math.Float32bits(got), math.Float32bits(want)
+		// A zero result may differ in sign from the big.Float reference
+		// (which has no signed zero distinction after FTZ); accept both.
+		if gb != wb && (gb<<1 != 0 || wb<<1 != 0) {
+			t.Fatalf("Fma(%x, %x, %x) = %x, want %x",
+				math.Float32bits(a), math.Float32bits(b), math.Float32bits(c), gb, wb)
+		}
+	}
+}
+
+func TestFmaCancellation(t *testing.T) {
+	// Catastrophic cancellation exercises the normalisation shifter.
+	cases := [][3]float32{
+		{1.0000001, 1, -1.0000001},
+		{3, 1.0 / 3, -1},
+		{1e30, 1e-30, -1},
+		{1 << 24, 1, -(1 << 24)},
+		{1.5, 2, -3},
+	}
+	for _, c := range cases {
+		got := Fma(c[0], c[1], c[2])
+		want := refFma(c[0], c[1], c[2])
+		if math.Float32bits(got) != math.Float32bits(want) && (got != 0 || want != 0) {
+			t.Errorf("Fma(%v,%v,%v) = %v, want %v", c[0], c[1], c[2], got, want)
+		}
+	}
+	if r := Fma(1.5, 2, -3); r != 0 || math.Signbit(float64(r)) {
+		t.Errorf("exact cancellation must give +0, got %v", r)
+	}
+}
+
+func TestSpecialValues(t *testing.T) {
+	inf := float32(math.Inf(1))
+	nan := float32(math.NaN())
+	if v := Add(inf, -inf); v == v {
+		t.Error("inf + -inf must be NaN")
+	}
+	if v := Add(inf, 1); !math.IsInf(float64(v), 1) {
+		t.Error("inf + 1 must be inf")
+	}
+	if v := Mul(inf, 0); v == v {
+		t.Error("inf * 0 must be NaN")
+	}
+	if v := Mul(-inf, 2); !math.IsInf(float64(v), -1) {
+		t.Error("-inf * 2 must be -inf")
+	}
+	if v := Fma(inf, 0, 1); v == v {
+		t.Error("fma(inf,0,1) must be NaN")
+	}
+	if v := Fma(inf, 1, -inf); v == v {
+		t.Error("fma(inf,1,-inf) must be NaN")
+	}
+	if v := Fma(nan, 1, 1); v == v {
+		t.Error("NaN propagation failed")
+	}
+	if v := Fma(2, 3, inf); !math.IsInf(float64(v), 1) {
+		t.Error("fma(2,3,inf) must be inf")
+	}
+}
+
+func TestSignedZeroRules(t *testing.T) {
+	negZero := float32(math.Copysign(0, -1))
+	if v := Mul(-1, 0); !math.Signbit(float64(v)) || v != 0 {
+		t.Errorf("-1*0 = %v, want -0", v)
+	}
+	if v := Add(negZero, negZero); !math.Signbit(float64(v)) {
+		t.Errorf("-0 + -0 = %v, want -0", v)
+	}
+	if v := Add(negZero, 0); math.Signbit(float64(v)) {
+		t.Errorf("-0 + +0 = %v, want +0", v)
+	}
+	if v := Fma(negZero, 5, 0); math.Signbit(float64(v)) || v != 0 {
+		t.Errorf("fma(-0,5,+0) = %v, want +0", v)
+	}
+	if v := Fma(negZero, 5, negZero); !math.Signbit(float64(v)) {
+		t.Errorf("fma(-0,5,-0) = %v, want -0", v)
+	}
+}
+
+func TestFTZBehaviour(t *testing.T) {
+	sub := math.Float32frombits(0x00000001) // smallest subnormal
+	if FTZ(sub) != 0 {
+		t.Error("subnormal input not flushed")
+	}
+	if FTZ(float32(1.5)) != 1.5 {
+		t.Error("normal input flushed")
+	}
+	// Operations flush subnormal inputs...
+	if v := Add(sub, sub); v != 0 {
+		t.Errorf("add of subnormals = %v, want 0 (FTZ)", v)
+	}
+	// ...and subnormal outputs.
+	tiny := math.Float32frombits(0x00800000) // min normal
+	if v := Mul(tiny, 0.5); v != 0 {
+		t.Errorf("underflowing multiply = %v, want 0 (FTZ)", v)
+	}
+}
+
+func TestOverflowToInfinity(t *testing.T) {
+	big := float32(3e38)
+	if v := Add(big, big); !math.IsInf(float64(v), 1) {
+		t.Errorf("overflowing add = %v, want +inf", v)
+	}
+	if v := Mul(-big, big); !math.IsInf(float64(v), -1) {
+		t.Errorf("overflowing multiply = %v, want -inf", v)
+	}
+}
+
+func TestUnpackPackRoundTrip(t *testing.T) {
+	r := stats.NewRNG(7)
+	for i := 0; i < 100000; i++ {
+		bits := uint32(r.Uint64())
+		u := Unpack(bits)
+		if u.Cls != ClsNorm {
+			continue
+		}
+		if got := Pack(u.Sign, u.Exp, u.Man); got != bits {
+			t.Fatalf("pack(unpack(%x)) = %x", bits, got)
+		}
+	}
+}
+
+func TestF2ISemantics(t *testing.T) {
+	tests := []struct {
+		in   float32
+		want int32
+	}{
+		{1.9, 1},
+		{-1.9, -1},
+		{0, 0},
+		{float32(math.NaN()), 0},
+		{3e9, math.MaxInt32},
+		{-3e9, math.MinInt32},
+		{float32(math.Inf(1)), math.MaxInt32},
+		{float32(math.Inf(-1)), math.MinInt32},
+	}
+	for _, tt := range tests {
+		if got := F2I(tt.in); got != tt.want {
+			t.Errorf("F2I(%v) = %d, want %d", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestMinMaxNaNLoses(t *testing.T) {
+	nan := float32(math.NaN())
+	if Min(nan, 3) != 3 || Min(3, nan) != 3 {
+		t.Error("Min must ignore NaN")
+	}
+	if Max(nan, 3) != 3 || Max(3, nan) != 3 {
+		t.Error("Max must ignore NaN")
+	}
+	if Min(2, 3) != 2 || Max(2, 3) != 3 {
+		t.Error("Min/Max basic ordering")
+	}
+}
+
+func TestSinAccuracy(t *testing.T) {
+	// Paper regime: [0, pi/2].
+	for x := float32(0); x <= math.Pi/2; x += 0.001 {
+		got := float64(Sin(x))
+		want := math.Sin(float64(x))
+		if math.Abs(got-want) > 1e-6 {
+			t.Fatalf("Sin(%v) = %v, want %v (err %v)", x, got, want, got-want)
+		}
+	}
+	if Sin(0) != 0 {
+		t.Error("Sin(0) != 0")
+	}
+}
+
+func TestExpAccuracy(t *testing.T) {
+	for x := float32(-10); x <= 10; x += 0.01 {
+		got := float64(Exp(x))
+		want := math.Exp(float64(x))
+		if math.Abs(got-want)/want > 6e-6 {
+			t.Fatalf("Exp(%v) = %v, want %v", x, got, want)
+		}
+	}
+	if !math.IsInf(float64(Exp(200)), 1) {
+		t.Error("Exp overflow must be +Inf")
+	}
+	if Exp(-200) != 0 {
+		t.Error("Exp underflow must flush to 0")
+	}
+}
+
+func TestRcpAccuracy(t *testing.T) {
+	r := stats.NewRNG(31)
+	for i := 0; i < 20000; i++ {
+		x := float32(r.Float64Range(1e-20, 1e20))
+		if r.Bool() {
+			x = -x
+		}
+		got := float64(Rcp(x))
+		want := 1 / float64(x)
+		if want != 0 && math.Abs(got-want)/math.Abs(want) > 1e-6 {
+			t.Fatalf("Rcp(%v) = %v, want %v", x, got, want)
+		}
+	}
+	if !math.IsInf(float64(Rcp(0)), 1) {
+		t.Error("Rcp(0) must be +Inf")
+	}
+	if v := Rcp(float32(math.Inf(1))); v != 0 {
+		t.Error("Rcp(inf) must be 0")
+	}
+}
+
+func TestRsqrtAccuracy(t *testing.T) {
+	r := stats.NewRNG(32)
+	for i := 0; i < 20000; i++ {
+		x := float32(r.Float64Range(1e-20, 1e20))
+		got := float64(Rsqrt(x))
+		want := 1 / math.Sqrt(float64(x))
+		if math.Abs(got-want)/want > 1e-6 {
+			t.Fatalf("Rsqrt(%v) = %v, want %v", x, got, want)
+		}
+	}
+	if v := Rsqrt(-1); v == v {
+		t.Error("Rsqrt(-1) must be NaN")
+	}
+	if !math.IsInf(float64(Rsqrt(0)), 1) {
+		t.Error("Rsqrt(0) must be +Inf")
+	}
+}
+
+func TestRelErr(t *testing.T) {
+	if RelErr(2, 2) != 0 {
+		t.Error("identical values must have zero error")
+	}
+	if got := RelErr(2, 4); got != 1 {
+		t.Errorf("RelErr(2,4) = %v, want 1 (100%%)", got)
+	}
+	if got := RelErr(0, 0.5); got != 0.5 {
+		t.Errorf("RelErr(0,0.5) = %v, want absolute 0.5", got)
+	}
+	if !math.IsInf(RelErr(1, math.NaN()), 1) {
+		t.Error("NaN corruption must be +Inf error")
+	}
+	if !math.IsInf(RelErr(1, math.Inf(1)), 1) {
+		t.Error("Inf corruption must be +Inf error")
+	}
+}
+
+func BenchmarkFma(b *testing.B) {
+	x := float32(1.5)
+	for i := 0; i < b.N; i++ {
+		x = Fma(x, 0.9999999, 0.1)
+	}
+	_ = x
+}
+
+func BenchmarkSin(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = Sin(0.7)
+	}
+}

@@ -1,0 +1,150 @@
+package fp32
+
+import (
+	"math"
+	"math/big"
+	"testing"
+	"testing/quick"
+
+	"gpufi/internal/stats"
+)
+
+// TestAlignDecompositionEquivalence: AlignOrder + AlignShift must compose
+// to exactly Align — the property the RTL align stages depend on.
+func TestAlignDecompositionEquivalence(t *testing.T) {
+	r := stats.NewRNG(404)
+	for i := 0; i < 200000; i++ {
+		// Random normalised 48-bit fractions with leading one at bit 47.
+		fx := 1<<47 | r.Uint64()&(1<<47-1)
+		fy := 1<<47 | r.Uint64()&(1<<47-1)
+		ex := int32(r.Intn(600)) - 300
+		ey := int32(r.Intn(600)) - 300
+		sx := uint32(r.Intn(2))
+		sy := uint32(r.Intn(2))
+
+		want := Align(sx, ex, fx, sy, ey, fy)
+		al, shift := AlignOrder(sx, ex, fx, sy, ey, fy)
+		al.FracS = AlignShift(al.FracS, shift)
+		if al != want {
+			t.Fatalf("decomposition mismatch:\n got %+v\nwant %+v (shift %d)", al, want, shift)
+		}
+	}
+}
+
+func TestAlignShiftEdgeCases(t *testing.T) {
+	if AlignShift(0, 63) != 0 {
+		t.Error("zero fraction must shift to zero")
+	}
+	if AlignShift(123, 63) != 1 {
+		t.Error("saturated shift of non-zero must be pure sticky")
+	}
+	if AlignShift(0b1000, 0) != 0b1000 {
+		t.Error("zero shift must be identity")
+	}
+	// Sticky folding: shifted-out bits set bit 0 of the shifted value.
+	if AlignShift(0b10001, 3) != 0b11 {
+		t.Errorf("AlignShift(0b10001, 3) = %b, want 0b11", AlignShift(0b10001, 3))
+	}
+	// Exact shift keeps no sticky.
+	if AlignShift(0b1000, 3) != 0b1 {
+		t.Errorf("AlignShift(0b1000, 3) = %b, want 0b1", AlignShift(0b1000, 3))
+	}
+}
+
+func TestAlignOrderOrdersByMagnitude(t *testing.T) {
+	f := func(fxRaw, fyRaw uint64, exRaw, eyRaw uint16) bool {
+		fx := 1<<47 | fxRaw&(1<<47-1)
+		fy := 1<<47 | fyRaw&(1<<47-1)
+		ex := int32(exRaw%600) - 300
+		ey := int32(eyRaw%600) - 300
+		al, _ := AlignOrder(0, ex, fx, 1, ey, fy)
+		// The big side must truly be >= the small side as a magnitude.
+		big := float64(al.FracB>>AlignGuardBits) * math.Pow(2, float64(al.Exp))
+		// Reconstruct the small side's pre-shift magnitude.
+		smallExp := ex + ey - al.Exp // the other exponent
+		small := float64(al.FracS>>AlignGuardBits) * math.Pow(2, float64(smallExp))
+		return big >= small
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRoundPackAgainstBigFloat(t *testing.T) {
+	r := stats.NewRNG(505)
+	for i := 0; i < 100000; i++ {
+		frac := r.Uint64()
+		if frac == 0 {
+			continue
+		}
+		pt := int32(r.Intn(50)) + 10
+		exp := int32(r.Intn(200)) - 100
+		sign := uint32(r.Intn(2))
+		got := math.Float32frombits(RoundPack(sign, exp, frac, pt))
+
+		// Reference: value = frac * 2^(exp-pt), rounded via float64->float32
+		// is unsafe (double rounding); construct from parts instead.
+		want := refRound(sign, exp, frac, pt)
+		gb, wb := math.Float32bits(got), math.Float32bits(want)
+		if gb != wb && (gb<<1 != 0 || wb<<1 != 0) {
+			t.Fatalf("RoundPack(%d, %d, %#x, %d) = %v (%#x), want %v (%#x)",
+				sign, exp, frac, pt, got, gb, want, wb)
+		}
+	}
+}
+
+// refRound computes round-to-nearest-even of frac*2^(exp-pt) via the
+// arbitrary-precision path used in fp32_test.go.
+func refRound(sign uint32, exp int32, frac uint64, pt int32) float32 {
+	bf := bigFromParts(frac, exp-pt)
+	f, _ := bf.Float32()
+	f = FTZ(f)
+	if sign == 1 {
+		f = -f
+	}
+	// RoundPack overflows to Inf; big.Float agrees via Float32().
+	return f
+}
+
+func TestLdexpBounds(t *testing.T) {
+	if v := Ldexp(1.5, 200); !math.IsInf(float64(v), 1) {
+		t.Errorf("Ldexp overflow = %v", v)
+	}
+	if v := Ldexp(1.5, -300); v != 0 {
+		t.Errorf("Ldexp underflow = %v (FTZ)", v)
+	}
+	if v := Ldexp(1.5, 3); v != 12 {
+		t.Errorf("Ldexp(1.5, 3) = %v", v)
+	}
+	if v := Ldexp(-0.75, 1); v != -1.5 {
+		t.Errorf("Ldexp(-0.75, 1) = %v", v)
+	}
+	nan := float32(math.NaN())
+	if v := Ldexp(nan, 1); v == v {
+		t.Error("Ldexp must pass NaN through")
+	}
+	if v := Ldexp(float32(math.Inf(-1)), -5); !math.IsInf(float64(v), -1) {
+		t.Error("Ldexp must pass infinities through")
+	}
+}
+
+func TestSinExpChainsUseDeclaredCoefficients(t *testing.T) {
+	// The RTL SFU replays the Horner chains from the exported coefficient
+	// tables; a drive-by edit of either side must fail this equivalence.
+	x := float32(0.73)
+	x2 := Mul(x, x)
+	p := SinCoeffs[0]
+	for _, c := range SinCoeffs[1:] {
+		p = Fma(p, x2, c)
+	}
+	manual := Fma(Mul(x, x2), p, x)
+	if got := Sin(x); got != manual {
+		t.Errorf("Sin(%v) = %v, manual chain = %v", x, got, manual)
+	}
+}
+
+// bigFromParts returns frac * 2^e at high precision.
+func bigFromParts(frac uint64, e int32) *big.Float {
+	bf := new(big.Float).SetPrec(200).SetUint64(frac)
+	return new(big.Float).SetPrec(200).SetMantExp(bf, int(e))
+}

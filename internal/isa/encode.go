@@ -1,0 +1,98 @@
+package isa
+
+import "fmt"
+
+// Word is one encoded instruction: a 128-bit word pair, as fetched by the
+// RTL model's fetch stage. (The G80 uses 64-bit instruction words; we use a
+// wider fixed layout so that every field has an explicit bit position that
+// decode-stage fault injection can target.)
+type Word [2]uint64
+
+// Bit positions inside Word[0].
+const (
+	bitsOp     = 0  // [7:0]   opcode
+	bitsGuard  = 8  // [11:8]  guard predicate
+	bitsDst    = 12 // [19:12] destination register
+	bitsSrcA   = 20 // [27:20]
+	bitsSrcB   = 28 // [35:28]
+	bitsSrcC   = 36 // [43:36]
+	bitsPDst   = 44 // [47:44] predicate destination / selector
+	bitsCmp    = 48 // [50:48] comparison operator
+	bitUseImmB = 51 // [51]    immediate-for-SrcB flag
+)
+
+// Bit positions inside Word[1].
+const (
+	bitsImm    = 0  // [31:0]  immediate
+	bitsTarget = 32 // [47:32] branch target
+	bitsReconv = 48 // [63:48] reconvergence point
+)
+
+// Encode packs the instruction into its binary representation.
+func Encode(in Instr) Word {
+	var w Word
+	w[0] = uint64(in.Op)<<bitsOp |
+		uint64(in.Guard&0xF)<<bitsGuard |
+		uint64(in.Dst&0xFF)<<bitsDst |
+		uint64(in.SrcA&0xFF)<<bitsSrcA |
+		uint64(in.SrcB&0xFF)<<bitsSrcB |
+		uint64(in.SrcC&0xFF)<<bitsSrcC |
+		uint64(in.PDst&0xF)<<bitsPDst |
+		uint64(in.Cmp&0x7)<<bitsCmp
+	if in.UseImmB {
+		w[0] |= 1 << bitUseImmB
+	}
+	w[1] = uint64(uint32(in.Imm))<<bitsImm |
+		uint64(in.Target)<<bitsTarget |
+		uint64(in.Reconv)<<bitsReconv
+	return w
+}
+
+// Decode unpacks a binary instruction word. It returns an error when the
+// opcode field does not name a defined operation, which the RTL model
+// reports as an illegal-instruction DUE.
+func Decode(w Word) (Instr, error) {
+	in := Instr{
+		Op:      Opcode(w[0] >> bitsOp & 0xFF),
+		Guard:   Pred(w[0] >> bitsGuard & 0xF),
+		Dst:     Reg(w[0] >> bitsDst & 0xFF),
+		SrcA:    Reg(w[0] >> bitsSrcA & 0xFF),
+		SrcB:    Reg(w[0] >> bitsSrcB & 0xFF),
+		SrcC:    Reg(w[0] >> bitsSrcC & 0xFF),
+		PDst:    Pred(w[0] >> bitsPDst & 0xF),
+		Cmp:     Cmp(w[0] >> bitsCmp & 0x7),
+		UseImmB: w[0]>>bitUseImmB&1 != 0,
+		Imm:     int32(uint32(w[1] >> bitsImm)),
+		Target:  uint16(w[1] >> bitsTarget),
+		Reconv:  uint16(w[1] >> bitsReconv),
+	}
+	if !in.Op.Valid() {
+		return in, fmt.Errorf("isa: illegal opcode field 0x%02x", uint8(in.Op))
+	}
+	if in.Dst >= NumRegs || in.SrcA >= NumRegs || in.SrcB >= NumRegs || in.SrcC >= NumRegs {
+		return in, fmt.Errorf("isa: register field out of range in %v", w)
+	}
+	return in, nil
+}
+
+// EncodeProgram encodes a whole instruction sequence.
+func EncodeProgram(prog []Instr) []Word {
+	words := make([]Word, len(prog))
+	for i, in := range prog {
+		words[i] = Encode(in)
+	}
+	return words
+}
+
+// DecodeProgram decodes a whole instruction memory image.
+func DecodeProgram(words []Word) ([]Instr, error) {
+	prog := make([]Instr, len(words))
+	for i, w := range words {
+		in, err := Decode(w)
+		if err != nil {
+			return nil, fmt.Errorf("at %d: %w", i, err)
+		}
+		prog[i] = in
+	}
+	return prog, nil
+}

@@ -1,0 +1,218 @@
+package kasm
+
+import (
+	"strings"
+	"testing"
+
+	"gpufi/internal/isa"
+)
+
+func TestFinalizeAppendsExit(t *testing.T) {
+	b := New("empty")
+	p, err := b.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Instrs) != 1 || p.Instrs[0].Op != isa.OpEXIT {
+		t.Errorf("empty program = %v, want single EXIT", p.Instrs)
+	}
+
+	b = New("hasexit")
+	b.Exit()
+	p, err = b.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Instrs) != 1 {
+		t.Errorf("EXIT duplicated: %v", p.Instrs)
+	}
+}
+
+func TestLabelResolution(t *testing.T) {
+	b := New("loop")
+	b.MovI(1, 0)
+	b.Label("top")
+	b.IAddI(1, 1, 1)
+	b.ISetPI(isa.P(0), isa.CmpLT, 1, 10)
+	b.BraIf(isa.P(0), "top")
+	p, err := b.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bra := p.Instrs[3]
+	if bra.Target != 1 {
+		t.Errorf("loop target = %d, want 1", bra.Target)
+	}
+	if bra.Reconv != 4 {
+		t.Errorf("backward branch reconv = %d, want fall-through 4", bra.Reconv)
+	}
+}
+
+func TestForwardBranchReconvDefaultsToTarget(t *testing.T) {
+	b := New("ifthen")
+	b.ISetPI(isa.P(0), isa.CmpGT, 1, 0)
+	b.BraIf(isa.NotP(0), "skip")
+	b.MovI(2, 1)
+	b.Label("skip")
+	b.Exit()
+	p, err := b.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bra := p.Instrs[1]
+	if bra.Target != 3 || bra.Reconv != 3 {
+		t.Errorf("if-then branch = target %d reconv %d, want 3/3", bra.Target, bra.Reconv)
+	}
+}
+
+func TestUniformBranchHasNoReconv(t *testing.T) {
+	b := New("uniform")
+	b.Bra("end")
+	b.Nop()
+	b.Label("end")
+	b.Exit()
+	p, err := b.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Instrs[0].Reconv != 0 {
+		t.Errorf("uniform branch reconv = %d, want 0", p.Instrs[0].Reconv)
+	}
+}
+
+func TestIfElseMacroShape(t *testing.T) {
+	b := New("ifelse")
+	b.ISetPI(isa.P(0), isa.CmpGT, 1, 0)
+	b.IfElse(isa.P(0),
+		func() { b.MovI(2, 1) },
+		func() { b.MovI(2, 2) },
+	)
+	b.Exit()
+	p, err := b.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expect: ISETP; @!P0 BRA else (reconv end); MOV; BRA end; else: MOV; end: EXIT
+	bra := p.Instrs[1]
+	if bra.Op != isa.OpBRA || !bra.Guard.Neg() {
+		t.Fatalf("instruction 1 = %v, want guarded BRA", bra)
+	}
+	elsePC, endPC := int(bra.Target), int(bra.Reconv)
+	if elsePC != 4 || endPC != 5 {
+		t.Errorf("if-else: else=%d end=%d, want 4/5", elsePC, endPC)
+	}
+	if p.Instrs[3].Op != isa.OpBRA || p.Instrs[3].Guard != isa.PredTrue {
+		t.Errorf("then path must end with uniform BRA, got %v", p.Instrs[3])
+	}
+}
+
+func TestLoopMacro(t *testing.T) {
+	b := New("loopmacro")
+	b.MovI(1, 0)
+	b.Loop(
+		func() { b.IAddI(1, 1, 1) },
+		func() isa.Pred {
+			b.ISetPI(isa.P(1), isa.CmpLT, 1, 5)
+			return isa.P(1)
+		},
+	)
+	p, err := b.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var found bool
+	for _, in := range p.Instrs {
+		if in.Op == isa.OpBRA && in.Target == 1 && in.Guard == isa.P(1) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("loop macro missing backward branch:\n%s", p.Disasm())
+	}
+}
+
+func TestUndefinedLabel(t *testing.T) {
+	b := New("bad")
+	b.Bra("nowhere")
+	if _, err := b.Finalize(); err == nil || !strings.Contains(err.Error(), "nowhere") {
+		t.Errorf("want undefined-label error, got %v", err)
+	}
+}
+
+func TestDuplicateLabel(t *testing.T) {
+	b := New("dup")
+	b.Label("x")
+	b.Nop()
+	b.Label("x")
+	if _, err := b.Finalize(); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Errorf("want duplicate-label error, got %v", err)
+	}
+}
+
+func TestUndefinedReconvLabel(t *testing.T) {
+	b := New("badreconv")
+	b.Label("t")
+	b.BraIfReconv(isa.P(0), "t", "missing")
+	if _, err := b.Finalize(); err == nil || !strings.Contains(err.Error(), "missing") {
+		t.Errorf("want undefined reconv error, got %v", err)
+	}
+}
+
+func TestStickyError(t *testing.T) {
+	b := New("sticky")
+	b.Emit(isa.Instr{Op: isa.OpInvalid})
+	b.Nop() // should not clear the error
+	if _, err := b.Finalize(); err == nil {
+		t.Error("invalid emit not reported by Finalize")
+	}
+}
+
+func TestWordsMatchInstrs(t *testing.T) {
+	b := New("encoded")
+	b.MovF(1, 2.5)
+	b.FAdd(2, 1, 1)
+	p, err := b.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := isa.DecodeProgram(p.Words)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range decoded {
+		if decoded[i] != p.Instrs[i] {
+			t.Errorf("word %d decodes to %v, want %v", i, decoded[i], p.Instrs[i])
+		}
+	}
+}
+
+func TestDisasmListsLabels(t *testing.T) {
+	b := New("dis")
+	b.Label("start")
+	b.Nop()
+	p, err := b.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(p.Disasm(), "start:") {
+		t.Errorf("disasm missing label:\n%s", p.Disasm())
+	}
+}
+
+func TestGuardedMemoryHelpers(t *testing.T) {
+	b := New("mem")
+	b.GldIf(isa.P(0), 1, 2, 4)
+	b.GstIf(isa.NotP(0), 2, 4, 1)
+	b.Sld(3, 2, 0)
+	b.Sst(2, 0, 3)
+	p, err := b.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Instrs[0].Guard != isa.P(0) || p.Instrs[1].Guard != isa.NotP(0) {
+		t.Error("guards not applied to memory ops")
+	}
+	if p.Instrs[2].Op != isa.OpSLD || p.Instrs[3].Op != isa.OpSST {
+		t.Error("shared memory helpers emit wrong opcodes")
+	}
+}

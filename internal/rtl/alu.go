@@ -1,0 +1,390 @@
+package rtl
+
+import (
+	"math"
+
+	"gpufi/internal/fp32"
+	"gpufi/internal/isa"
+)
+
+// stepINT advances the 8-lane integer ALU one cycle.
+//
+// Stage 0 latches the execute inputs into the per-lane operand registers;
+// stage 1 runs the multiplier array and addend forwarding; stage 2
+// finalises each lane's result into the pipeline's execute output latch.
+func (m *Machine) stepINT() {
+	n, s := &m.nf, m.INT
+	switch s.Get(n.iuStage) {
+	case 0:
+		sub := uint32(m.Pipe.Get(m.pf.issSubmask))
+		for i := 0; i < NumLanes; i++ {
+			s.Set(n.s1A[i], m.Pipe.Get(m.pf.exinA[i]))
+			s.Set(n.s1B[i], m.Pipe.Get(m.pf.exinB[i]))
+			s.Set(n.s1C[i], m.Pipe.Get(m.pf.exinC[i]))
+			s.Set(n.s1Op[i], m.Pipe.Get(m.pf.issOp)&0x3F)
+			s.Set(n.s1Cmp[i], m.Pipe.Get(m.pf.issCmp))
+			s.Set(n.s1Valid[i], uint64(sub>>uint(i)&1))
+		}
+		s.Set(n.iuOp, m.Pipe.Get(m.pf.issOp)&0x3F)
+		s.Set(n.iuSubmask, uint64(sub))
+		s.Set(n.iuValid, 1)
+		s.Set(n.iuDst, m.Pipe.Get(m.pf.issDst))
+		s.Set(n.iuCmp, m.Pipe.Get(m.pf.issCmp))
+		s.Set(n.iuPDst, m.Pipe.Get(m.pf.issPDst))
+		s.Set(n.iuStage, 1)
+	case 1:
+		for i := 0; i < NumLanes; i++ {
+			if s.Get(n.s1Valid[i]) == 0 {
+				continue
+			}
+			a := int32(uint32(s.Get(n.s1A[i])))
+			b := int32(uint32(s.Get(n.s1B[i])))
+			p := int64(a) * int64(b)
+			s.Set(n.s2Prod[i], uint64(p)&(1<<48-1))
+			s.Set(n.s2Addend[i], s.Get(n.s1C[i]))
+			s.Set(n.s2Valid[i], 1)
+		}
+		s.Set(n.iuStage, 2)
+	default:
+		g := int(m.Sched.Get(m.sf.group)) & 3
+		for i := 0; i < NumLanes; i++ {
+			if s.Get(n.s1Valid[i]) == 0 {
+				continue
+			}
+			res := m.intLaneResult(i, 8*g+i)
+			m.Pipe.Set(m.pf.exout[i], uint64(res))
+		}
+		s.Set(n.iuValid, 0)
+		s.Set(n.iuStage, 0)
+		m.Sched.Set(m.sf.phase, phGroupWB)
+	}
+}
+
+// intLaneResult computes the stage-2 result of one integer lane from its
+// (possibly fault-corrupted) stage registers.
+func (m *Machine) intLaneResult(i, globalLane int) uint32 {
+	n, s := &m.nf, m.INT
+	op := isa.Opcode(s.Get(n.s1Op[i]))
+	a := uint32(s.Get(n.s1A[i]))
+	b := uint32(s.Get(n.s1B[i]))
+	prod := uint32(s.Get(n.s2Prod[i]))
+	addend := uint32(s.Get(n.s2Addend[i]))
+	cmp := isa.Cmp(s.Get(n.s1Cmp[i]))
+
+	laneSel := func() bool {
+		pd := isa.Pred(s.Get(n.iuPDst))
+		v := uint32(m.Pipe.Get(m.pf.predB[pd.Index()]))>>uint(globalLane)&1 == 1
+		if pd.Index() == isa.PT {
+			v = true
+		}
+		if pd.Neg() {
+			v = !v
+		}
+		return v
+	}
+
+	switch op {
+	case isa.OpIADD:
+		return a + b
+	case isa.OpIMUL:
+		return prod
+	case isa.OpIMAD:
+		return prod + addend
+	case isa.OpISET:
+		if cmp.EvalI(int32(a), int32(b)) {
+			return 0xFFFFFFFF
+		}
+		return 0
+	case isa.OpISETP:
+		if cmp.EvalI(int32(a), int32(b)) {
+			return 1
+		}
+		return 0
+	case isa.OpFSETP:
+		if cmp.EvalF(math.Float32frombits(a), math.Float32frombits(b)) {
+			return 1
+		}
+		return 0
+	case isa.OpMOV:
+		return a
+	case isa.OpMOV32I, isa.OpS2R:
+		return b
+	case isa.OpSEL:
+		if laneSel() {
+			return a
+		}
+		return b
+	case isa.OpSHL:
+		return a << (b & 31)
+	case isa.OpSHR:
+		return a >> (b & 31)
+	case isa.OpAND:
+		return a & b
+	case isa.OpOR:
+		return a | b
+	case isa.OpXOR:
+		return a ^ b
+	case isa.OpIMNMX:
+		x, y := int32(a), int32(b)
+		if laneSel() == (x < y) {
+			return uint32(x)
+		}
+		return uint32(y)
+	case isa.OpFMNMX:
+		fa, fb := math.Float32frombits(a), math.Float32frombits(b)
+		if laneSel() {
+			return math.Float32bits(fp32.Min(fa, fb))
+		}
+		return math.Float32bits(fp32.Max(fa, fb))
+	case isa.OpF2I:
+		return uint32(fp32.F2I(math.Float32frombits(a)))
+	case isa.OpI2F:
+		return math.Float32bits(fp32.I2F(int32(a)))
+	default:
+		// Corrupted opcode field: the lane produces its raw operand, a
+		// realistic don't-care output for an undecoded operation.
+		return a
+	}
+}
+
+// FP32 lane operation encodings (3-bit s1_op field).
+const (
+	fpOpAdd uint64 = iota
+	fpOpMul
+	fpOpFma
+)
+
+// stepFP32 advances the 8-lane FP32 unit one cycle through its staged
+// datapath: latch -> unpack -> multiply -> align -> add -> round.
+func (m *Machine) stepFP32() {
+	x, s := &m.xf, m.FP32
+	switch s.Get(x.fuStage) {
+	case 0: // latch operands
+		sub := uint32(m.Pipe.Get(m.pf.issSubmask))
+		var enc uint64
+		switch isa.Opcode(m.Pipe.Get(m.pf.issOp)) {
+		case isa.OpFMUL:
+			enc = fpOpMul
+		case isa.OpFFMA:
+			enc = fpOpFma
+		default:
+			enc = fpOpAdd
+		}
+		for i := 0; i < NumLanes; i++ {
+			s.Set(x.s1A[i], m.Pipe.Get(m.pf.exinA[i]))
+			s.Set(x.s1B[i], m.Pipe.Get(m.pf.exinB[i]))
+			s.Set(x.s1C[i], m.Pipe.Get(m.pf.exinC[i]))
+			s.Set(x.s1Op[i], enc)
+			s.Set(x.s1Valid[i], uint64(sub>>uint(i)&1))
+		}
+		s.Set(x.fuValid, 1)
+		s.Set(x.fuLaneMask, uint64(sub))
+		s.Set(x.fuStage, 2)
+	case 2: // unpack + special-case resolution
+		for i := 0; i < NumLanes; i++ {
+			if s.Get(x.s1Valid[i]) == 0 {
+				continue
+			}
+			m.fpUnpackLane(i)
+		}
+		s.Set(x.fuStage, 3)
+	case 3: // exact product / addend unpack
+		for i := 0; i < NumLanes; i++ {
+			if s.Get(x.s2Valid[i]) == 0 {
+				continue
+			}
+			m.fpProductLane(i)
+		}
+		s.Set(x.fuStage, 4)
+	case 4: // alignment
+		for i := 0; i < NumLanes; i++ {
+			if s.Get(x.s3Valid[i]) == 0 {
+				continue
+			}
+			m.fpAlignLane(i)
+		}
+		s.Set(x.fuStage, 5)
+	case 5: // add
+		for i := 0; i < NumLanes; i++ {
+			if s.Get(x.s4Valid[i]) == 0 {
+				continue
+			}
+			al := fp32.Aligned{
+				SignB: uint32(s.Get(x.s4SignB[i])),
+				SignS: uint32(s.Get(x.s4SignS[i])),
+				FracB: s.Get(x.s4FracB[i]),
+				FracS: fp32.AlignShift(s.Get(x.s4FracS[i]), uint32(s.Get(x.s4Shift[i]))),
+			}
+			sign, frac := fp32.SumAligned(al)
+			s.Set(x.s5Frac[i], frac)
+			s.Set(x.s5Exp[i], s.Get(x.s4ExpB[i]))
+			s.Set(x.s5Sign[i], uint64(sign))
+			s.Set(x.s5Valid[i], 1)
+		}
+		s.Set(x.fuStage, 6)
+	case 6: // round
+		for i := 0; i < NumLanes; i++ {
+			if s.Get(x.s5Valid[i]) == 0 {
+				continue
+			}
+			var res uint32
+			switch {
+			case s.Get(x.s2SpecValid[i]) == 1:
+				res = uint32(s.Get(x.s2Special[i]))
+			case s.Get(x.s5Frac[i]) == 0:
+				res = 0 // exact cancellation: +0
+			default:
+				res = fp32.RoundPack(
+					uint32(s.Get(x.s5Sign[i])),
+					decS(s.Get(x.s5Exp[i]), 10),
+					s.Get(x.s5Frac[i]),
+					47+fp32.AlignGuardBits,
+				)
+			}
+			s.Set(x.s6Res[i], uint64(res))
+			s.Set(x.s6Valid[i], 1)
+		}
+		s.Set(x.fuStage, 7)
+	default: // deliver to execute output latch (gated by the lane mask)
+		laneMask := s.Get(x.fuLaneMask)
+		for i := 0; i < NumLanes; i++ {
+			if s.Get(x.s6Valid[i]) == 1 && laneMask>>uint(i)&1 == 1 {
+				m.Pipe.Set(m.pf.exout[i], s.Get(x.s6Res[i]))
+			}
+			s.Set(x.s2SpecValid[i], 0)
+			s.Set(x.s2Valid[i], 0)
+			s.Set(x.s3Valid[i], 0)
+			s.Set(x.s4Valid[i], 0)
+			s.Set(x.s5Valid[i], 0)
+			s.Set(x.s6Valid[i], 0)
+		}
+		s.Set(x.fuValid, 0)
+		s.Set(x.fuStage, 0)
+		m.Sched.Set(m.sf.phase, phGroupWB)
+	}
+}
+
+// fpUnpackLane performs the unpack stage for one lane, resolving special
+// operands (NaN, infinity, zero after FTZ) through the dedicated
+// special-case path.
+func (m *Machine) fpUnpackLane(i int) {
+	x, s := &m.xf, m.FP32
+	a := uint32(s.Get(x.s1A[i]))
+	b := uint32(s.Get(x.s1B[i]))
+	c := uint32(s.Get(x.s1C[i]))
+	op := s.Get(x.s1Op[i])
+
+	ua, ub := fp32.Unpack(a), fp32.Unpack(b)
+	special, isSpecial := uint32(0), false
+	switch op {
+	case fpOpMul:
+		if ua.Cls != fp32.ClsNorm || ub.Cls != fp32.ClsNorm {
+			special, isSpecial = fp32.MulBits(a, b), true
+		}
+	case fpOpFma:
+		uc := fp32.Unpack(c)
+		if ua.Cls != fp32.ClsNorm || ub.Cls != fp32.ClsNorm || uc.Cls != fp32.ClsNorm {
+			special, isSpecial = fp32.FmaBits(a, b, c), true
+		}
+	default: // FADD
+		if ua.Cls != fp32.ClsNorm || ub.Cls != fp32.ClsNorm {
+			special, isSpecial = fp32.AddBits(a, b), true
+		}
+	}
+
+	s.Set(x.s2ASign[i], uint64(ua.Sign))
+	s.Set(x.s2AExp[i], encS(ua.Exp, 10))
+	s.Set(x.s2AMan[i], uint64(ua.Man))
+	s.Set(x.s2BSign[i], uint64(ub.Sign))
+	s.Set(x.s2BExp[i], encS(ub.Exp, 10))
+	s.Set(x.s2BMan[i], uint64(ub.Man))
+	s.Set(x.s2Special[i], uint64(special))
+	if isSpecial {
+		s.Set(x.s2SpecValid[i], 1)
+	} else {
+		s.Set(x.s2SpecValid[i], 0)
+	}
+	s.Set(x.s2Op[i], op)
+	s.Set(x.s2Valid[i], 1)
+}
+
+// fpProductLane performs the multiply stage: an exact 24x24 product
+// normalised to bit 47 for FMUL/FFMA, or a pass-through of operand A for
+// FADD; and unpacks the addend (C for FFMA, B for FADD).
+func (m *Machine) fpProductLane(i int) {
+	x, s := &m.xf, m.FP32
+	op := s.Get(x.s2Op[i])
+	aSign := uint32(s.Get(x.s2ASign[i]))
+	aExp := decS(s.Get(x.s2AExp[i]), 10)
+	aMan := uint32(s.Get(x.s2AMan[i]))
+	bSign := uint32(s.Get(x.s2BSign[i]))
+	bExp := decS(s.Get(x.s2BExp[i]), 10)
+	bMan := uint32(s.Get(x.s2BMan[i]))
+
+	var p uint64
+	var pexp int32
+	var psign uint32
+	if op == fpOpAdd {
+		p = uint64(aMan) << 24 // unit bit at 47
+		pexp = aExp
+		psign = aSign
+	} else {
+		p = uint64(aMan) * uint64(bMan) // in [2^46, 2^48)
+		pexp = aExp + bExp + 1
+		if p != 0 && p < 1<<47 {
+			p <<= 1
+			pexp--
+		}
+		psign = aSign ^ bSign
+	}
+	s.Set(x.s3P[i], p)
+	s.Set(x.s3PExp[i], encS(pexp, 10))
+	s.Set(x.s3PSign[i], uint64(psign))
+
+	switch op {
+	case fpOpFma:
+		c := fp32.Unpack(uint32(s.Get(x.s1C[i])))
+		s.Set(x.s3CSign[i], uint64(c.Sign))
+		s.Set(x.s3CExp[i], encS(c.Exp, 10))
+		s.Set(x.s3CMan[i], uint64(c.Man))
+	case fpOpAdd:
+		s.Set(x.s3CSign[i], uint64(bSign))
+		s.Set(x.s3CExp[i], encS(bExp, 10))
+		s.Set(x.s3CMan[i], uint64(bMan))
+	default: // FMUL has no addend
+		s.Set(x.s3CMan[i], 0)
+	}
+	s.Set(x.s3Op[i], op)
+	s.Set(x.s3Valid[i], 1)
+}
+
+// fpAlignLane performs the align stage.
+func (m *Machine) fpAlignLane(i int) {
+	x, s := &m.xf, m.FP32
+	op := s.Get(x.s3Op[i])
+	p := s.Get(x.s3P[i])
+	pexp := decS(s.Get(x.s3PExp[i]), 10)
+	psign := uint32(s.Get(x.s3PSign[i]))
+
+	if op == fpOpMul || s.Get(x.s3CMan[i]) == 0 {
+		// No addend: pass the product through with guard headroom.
+		s.Set(x.s4FracB[i], p<<fp32.AlignGuardBits)
+		s.Set(x.s4FracS[i], 0)
+		s.Set(x.s4ExpB[i], encS(pexp, 10))
+		s.Set(x.s4SignB[i], uint64(psign))
+		s.Set(x.s4SignS[i], uint64(psign))
+		s.Set(x.s4Shift[i], 0)
+	} else {
+		cSign := uint32(s.Get(x.s3CSign[i]))
+		cExp := decS(s.Get(x.s3CExp[i]), 10)
+		cMan := s.Get(x.s3CMan[i]) << 24 // unit bit at 47
+		al, shift := fp32.AlignOrder(psign, pexp, p, cSign, cExp, cMan)
+		s.Set(x.s4FracB[i], al.FracB)
+		s.Set(x.s4FracS[i], al.FracS)
+		s.Set(x.s4ExpB[i], encS(al.Exp, 10))
+		s.Set(x.s4SignB[i], uint64(al.SignB))
+		s.Set(x.s4SignS[i], uint64(al.SignS))
+		s.Set(x.s4Shift[i], uint64(shift))
+	}
+	s.Set(x.s4Valid[i], 1)
+}

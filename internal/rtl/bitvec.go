@@ -1,0 +1,170 @@
+// Package rtl is the register-transfer-level GPU model — the FlexGripPlus
+// analog. It executes the same programs as the functional emulator
+// (internal/emu) on a cycle-stepped streaming-multiprocessor model whose
+// entire sequential state lives in explicit, named flip-flop bit vectors.
+//
+// Fault injection at this level is the paper's RTL campaign primitive:
+// flip one flip-flop bit of one module at one cycle (a single transient)
+// and observe how it propagates through the warp scheduler, the pipeline
+// registers, the functional units, and the shared SFUs to the program
+// output.
+//
+// The model follows the G80 organisation FlexGripPlus implements: one SM
+// with 8 scalar lanes, so each 32-thread warp instruction issues as four
+// groups of 8 threads; two SFUs shared by the 8 lanes through an
+// arbitration controller; a warp-scheduler table of up to 24 warps. Module
+// flip-flop budgets are field-by-field layouts that sum exactly to the
+// sizes reported in Table I of the paper.
+package rtl
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Field is one named flip-flop group inside a module layout.
+type Field struct {
+	Name   string
+	Width  int // bits
+	Offset int // absolute bit offset within the module, filled by NewLayout
+}
+
+// Layout is a module's complete flip-flop map.
+type Layout struct {
+	Name   string
+	Fields []Field
+	Bits   int // total flip-flops
+	byName map[string]int
+}
+
+// NewLayout builds a layout from (name, width) pairs, assigning offsets in
+// declaration order.
+func NewLayout(name string, fields []Field) *Layout {
+	l := &Layout{Name: name, byName: make(map[string]int, len(fields))}
+	off := 0
+	for _, f := range fields {
+		if f.Width <= 0 || f.Width > 64 {
+			panic(fmt.Sprintf("rtl: field %s.%s has invalid width %d", name, f.Name, f.Width))
+		}
+		if _, dup := l.byName[f.Name]; dup {
+			panic(fmt.Sprintf("rtl: duplicate field %s.%s", name, f.Name))
+		}
+		f.Offset = off
+		l.byName[f.Name] = len(l.Fields)
+		l.Fields = append(l.Fields, f)
+		off += f.Width
+	}
+	l.Bits = off
+	return l
+}
+
+// MustField returns the field index for name, panicking when absent. It is
+// used at model construction time to resolve field handles.
+func (l *Layout) MustField(name string) int {
+	i, ok := l.byName[name]
+	if !ok {
+		panic(fmt.Sprintf("rtl: layout %s has no field %q", l.Name, name))
+	}
+	return i
+}
+
+// FieldAt returns the field containing absolute bit position, for fault
+// reporting.
+func (l *Layout) FieldAt(bit int) Field {
+	for _, f := range l.Fields {
+		if bit >= f.Offset && bit < f.Offset+f.Width {
+			return f
+		}
+	}
+	return Field{Name: "?", Width: 0, Offset: bit}
+}
+
+// State is the live flip-flop contents of one module.
+type State struct {
+	Lay   *Layout
+	words []uint64
+}
+
+// NewState allocates zeroed flip-flops for a layout.
+func NewState(l *Layout) *State {
+	return &State{Lay: l, words: make([]uint64, (l.Bits+63)/64)}
+}
+
+// Reset clears every flip-flop.
+func (s *State) Reset() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// Get reads the field with index fi (from Layout.MustField).
+func (s *State) Get(fi int) uint64 {
+	f := s.Lay.Fields[fi]
+	w, b := f.Offset/64, uint(f.Offset%64)
+	v := s.words[w] >> b
+	if b+uint(f.Width) > 64 {
+		v |= s.words[w+1] << (64 - b)
+	}
+	if f.Width == 64 {
+		return v
+	}
+	return v & (1<<uint(f.Width) - 1)
+}
+
+// Set writes the field with index fi, truncating v to the field width.
+func (s *State) Set(fi int, v uint64) {
+	f := s.Lay.Fields[fi]
+	var mask uint64 = ^uint64(0)
+	if f.Width < 64 {
+		mask = 1<<uint(f.Width) - 1
+	}
+	v &= mask
+	w, b := f.Offset/64, uint(f.Offset%64)
+	s.words[w] = s.words[w]&^(mask<<b) | v<<b
+	if b+uint(f.Width) > 64 {
+		hi := uint(f.Width) - (64 - b)
+		himask := uint64(1)<<hi - 1
+		s.words[w+1] = s.words[w+1]&^himask | v>>(64-b)
+	}
+}
+
+// FlipBit inverts one flip-flop by absolute bit position — the single
+// transient fault primitive.
+func (s *State) FlipBit(bit int) {
+	if bit < 0 || bit >= s.Lay.Bits {
+		panic(fmt.Sprintf("rtl: flip bit %d outside %s (%d bits)", bit, s.Lay.Name, s.Lay.Bits))
+	}
+	s.words[bit/64] ^= 1 << uint(bit%64)
+}
+
+// Bit reads one flip-flop by absolute position.
+func (s *State) Bit(bit int) uint64 {
+	return s.words[bit/64] >> uint(bit%64) & 1
+}
+
+// PopCount returns the number of set flip-flops (used in tests).
+func (s *State) PopCount() int {
+	n := 0
+	for _, w := range s.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// lanes returns i consecutive per-lane fields named prefix0..prefix{n-1}.
+func lanes(prefix string, n, width int) []Field {
+	fs := make([]Field, n)
+	for i := range fs {
+		fs[i] = Field{Name: fmt.Sprintf("%s%d", prefix, i), Width: width}
+	}
+	return fs
+}
+
+// cat concatenates field groups.
+func cat(groups ...[]Field) []Field {
+	var out []Field
+	for _, g := range groups {
+		out = append(out, g...)
+	}
+	return out
+}

@@ -1,0 +1,268 @@
+package rtl
+
+import (
+	"errors"
+	"testing"
+
+	"gpufi/internal/emu"
+	"gpufi/internal/faults"
+	"gpufi/internal/isa"
+	"gpufi/internal/kasm"
+	"gpufi/internal/stats"
+)
+
+// TestFaultOutcomeDeterministic: the same (fault, program, inputs) must
+// reproduce the same outcome and memory image.
+func TestFaultOutcomeDeterministic(t *testing.T) {
+	prog := vecOpProg(t, isa.OpFFMA)
+	init := make([]uint32, 256)
+	for i := 0; i < 192; i++ {
+		init[i] = f32(float32(i)*0.5 + 1)
+	}
+	run := func() ([]uint32, error) {
+		g := append([]uint32(nil), init...)
+		m := New()
+		m.Inject(Fault{Module: faults.ModFP32, Bit: 1234, Cycle: 77})
+		err := m.Run(prog, 1, 64, g, 0, testMaxCycles)
+		return g, err
+	}
+	g1, e1 := run()
+	g2, e2 := run()
+	if (e1 == nil) != (e2 == nil) {
+		t.Fatalf("outcomes differ: %v vs %v", e1, e2)
+	}
+	for i := range g1 {
+		if g1[i] != g2[i] {
+			t.Fatalf("memory differs at %d", i)
+		}
+	}
+}
+
+// TestSchedulerStateFaultKillsWarp: flipping a live warp's state bits to
+// DONE before it stores must silently lose its outputs (whole-warp SDC),
+// the paper's dominant scheduler corruption mode.
+func TestSchedulerStateFaultKillsWarp(t *testing.T) {
+	b := kasm.New("store")
+	b.S2R(1, isa.SRTid)
+	b.MovI(2, 7)
+	b.Gst(1, 0, 2)
+	prog, err := b.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New()
+	// Warp 1's state field: flip bit 1 (READY=1 -> 3=DONE) at cycle 0.
+	lay := m.Sched.Lay
+	stateOff := lay.Fields[lay.MustField("w1_state")].Offset
+	m.Inject(Fault{Module: faults.ModSched, Bit: stateOff + 1, Cycle: 0})
+	g := make([]uint32, 64)
+	if err := m.Run(prog, 1, 64, g, 0, testMaxCycles); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	// Warp 0 stored; warp 1 never ran.
+	for i := 0; i < 32; i++ {
+		if g[i] != 7 {
+			t.Fatalf("warp 0 thread %d missing", i)
+		}
+	}
+	missing := 0
+	for i := 32; i < 64; i++ {
+		if g[i] == 0 {
+			missing++
+		}
+	}
+	if missing != 32 {
+		t.Errorf("killed warp stored %d threads, want 0", 32-missing)
+	}
+}
+
+// TestSchedulerPCFaultDerails: flipping a high PC bit of a live warp must
+// end in a DUE (fetch beyond the program).
+func TestSchedulerPCFaultDerails(t *testing.T) {
+	b := kasm.New("loop")
+	b.MovI(1, 0)
+	b.Label("top")
+	b.IAddI(1, 1, 1)
+	b.ISetPI(isa.P(0), isa.CmpLT, 1, 50)
+	b.BraIf(isa.P(0), "top")
+	prog, err := b.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New()
+	lay := m.Sched.Lay
+	pcOff := lay.Fields[lay.MustField("w0_pc")].Offset
+	// The PC register is overwritten at every commit, so only flips that
+	// land between commit and the next fetch take effect: sweep a window
+	// of cycles and require that some of them derail.
+	dues := 0
+	for cycle := uint64(100); cycle < 160; cycle++ {
+		m.Inject(Fault{Module: faults.ModSched, Bit: pcOff + 14, Cycle: cycle})
+		err := m.Run(prog, 1, 32, nil, 0, 50000)
+		if errors.Is(err, ErrBadPC) || errors.Is(err, ErrWatchdog) || errors.Is(err, ErrIllegalInstr) {
+			dues++
+		}
+	}
+	if dues == 0 {
+		t.Error("no DUE from 60 high-PC-bit flips (implausible)")
+	}
+}
+
+// TestGroupEnableFaultDisablesCluster: flipping a groupen bit must mask
+// out exactly its 4-lane cluster for the rest of the run.
+func TestGroupEnableFaultDisablesCluster(t *testing.T) {
+	b := kasm.New("store")
+	b.S2R(1, isa.SRTid)
+	b.MovI(2, 9)
+	b.Gst(1, 0, 2)
+	prog, err := b.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New()
+	lay := m.Sched.Lay
+	genOff := lay.Fields[lay.MustField("w0_groupen")].Offset
+	m.Inject(Fault{Module: faults.ModSched, Bit: genOff + 3, Cycle: 0}) // lanes 12..15
+	g := make([]uint32, 32)
+	if err := m.Run(prog, 1, 32, g, 0, testMaxCycles); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for i := 0; i < 32; i++ {
+		want := uint32(9)
+		if i >= 12 && i < 16 {
+			want = 0
+		}
+		if g[i] != want {
+			t.Errorf("lane %d = %d, want %d", i, g[i], want)
+		}
+	}
+}
+
+// TestRTLBarrierDivergenceIsDUE mirrors the emulator's barrier legality
+// check.
+func TestRTLBarrierDivergenceIsDUE(t *testing.T) {
+	b := kasm.New("badbar")
+	b.S2R(1, isa.SRTid)
+	b.AndI(2, 1, 1)
+	b.ISetPI(isa.P(0), isa.CmpEQ, 2, 0)
+	b.If(isa.P(0), func() { b.Bar() })
+	prog, err := b.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New()
+	err = m.Run(prog, 1, 32, nil, 0, testMaxCycles)
+	if !errors.Is(err, ErrBadBarrier) {
+		t.Errorf("err = %v, want ErrBadBarrier", err)
+	}
+}
+
+// TestRTLStackOverflowIsDUE: exceeding the 5-bit SIMT depth traps.
+func TestRTLStackOverflowIsDUE(t *testing.T) {
+	b := kasm.New("deep")
+	b.S2R(1, isa.SRTid)
+	var nest func(d int)
+	nest = func(d int) {
+		if d > 20 {
+			b.Nop()
+			return
+		}
+		// tid < d splits one thread off per level; the recursion sits in
+		// the else branch, which the PDOM stack executes first, so every
+		// level leaves its then-sibling waiting on the stack: two entries
+		// per level, exceeding the 5-bit depth budget around level 15.
+		b.ISetPI(isa.P(0), isa.CmpLT, 1, int32(d))
+		b.IfElse(isa.P(0),
+			func() { b.Nop() },
+			func() { nest(d + 1) },
+		)
+	}
+	nest(1)
+	prog, err := b.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New()
+	err = m.Run(prog, 1, 32, nil, 0, testMaxCycles)
+	if !errors.Is(err, ErrBadStack) {
+		t.Errorf("err = %v, want ErrBadStack", err)
+	}
+}
+
+// TestEveryModuleFaultNeverPanics sprays faults into every module across
+// a barrier-and-divergence-heavy kernel and requires a classified outcome
+// (never a panic or unbounded run).
+func TestEveryModuleFaultNeverPanics(t *testing.T) {
+	b := kasm.New("stress")
+	b.S2R(1, isa.SRTid)
+	b.Gld(2, 1, 0)
+	b.Sst(1, 0, 2)
+	b.Bar()
+	b.AndI(3, 1, 3)
+	b.ISetPI(isa.P(0), isa.CmpEQ, 3, 0)
+	b.IfElse(isa.P(0),
+		func() { b.FSin(4, 2) },
+		func() { b.FExp(4, 2) },
+	)
+	b.Sld(5, 1, 0)
+	b.FAdd(4, 4, 5)
+	b.Gst(1, 64, 4)
+	prog, err := b.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	init := make([]uint32, 128)
+	for i := 0; i < 64; i++ {
+		init[i] = f32(0.01 * float32(i+1))
+	}
+	m := New()
+	gold := append([]uint32(nil), init...)
+	if err := m.Run(prog, 1, 64, gold, 64, testMaxCycles); err != nil {
+		t.Fatalf("golden: %v", err)
+	}
+	cycles := m.Cycles()
+	r := stats.NewRNG(777)
+	for _, mod := range faults.AllModules() {
+		for i := 0; i < 150; i++ {
+			g := append([]uint32(nil), init...)
+			m.Inject(Fault{
+				Module: mod,
+				Bit:    r.Intn(ModuleBits(mod)),
+				Cycle:  uint64(r.Intn(int(cycles))),
+			})
+			_ = m.Run(prog, 1, 64, g, 64, cycles*10+1000) // outcome may be any class
+		}
+	}
+}
+
+// TestRTLAgainstEmulatorUnderNoFaultAfterInjectionRuns guards against
+// state leakage from faulty runs into subsequent clean runs (regression
+// for the transient-fault contract).
+func TestRTLAgainstEmulatorUnderNoFaultAfterInjectionRuns(t *testing.T) {
+	prog := vecOpProg(t, isa.OpFSIN)
+	init := make([]uint32, 256)
+	for i := 0; i < 64; i++ {
+		init[i] = f32(0.02 * float32(i+1))
+	}
+	m := New()
+	r := stats.NewRNG(3)
+	for i := 0; i < 50; i++ {
+		g := append([]uint32(nil), init...)
+		m.Inject(Fault{Module: faults.ModSFUCtl, Bit: r.Intn(FFCountSFUCtl), Cycle: uint64(50 + i)})
+		_ = m.Run(prog, 1, 64, g, 0, testMaxCycles)
+	}
+	// Clean run must equal the emulator bit for bit.
+	gRTL := append([]uint32(nil), init...)
+	if err := m.Run(prog, 1, 64, gRTL, 0, testMaxCycles); err != nil {
+		t.Fatal(err)
+	}
+	gEmu := append([]uint32(nil), init...)
+	if _, err := emu.Run(&emu.Launch{Prog: prog, Grid: 1, Block: 64, Global: gEmu}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range gRTL {
+		if gRTL[i] != gEmu[i] {
+			t.Fatalf("leakage: word %d rtl=%#x emu=%#x", i, gRTL[i], gEmu[i])
+		}
+	}
+}

@@ -1,0 +1,270 @@
+package rtl
+
+import (
+	"errors"
+	"fmt"
+
+	"gpufi/internal/faults"
+	"gpufi/internal/isa"
+	"gpufi/internal/kasm"
+)
+
+// RTL failure modes, classified as DUEs by the injection framework.
+var (
+	ErrIllegalInstr = errors.New("rtl: illegal instruction")
+	ErrBadPC        = errors.New("rtl: program counter out of range")
+	ErrBadAddress   = errors.New("rtl: memory access out of range")
+	ErrWatchdog     = errors.New("rtl: watchdog expired (hang)")
+	ErrBadStack     = errors.New("rtl: SIMT stack corruption")
+	ErrBadBarrier   = errors.New("rtl: barrier reached by diverged warp")
+	ErrBadLaunch    = errors.New("rtl: invalid launch configuration")
+)
+
+// reconvNone is the "no reconvergence point" sentinel in the 16-bit
+// scheduler reconv field.
+const reconvNone = 0xFFFF
+
+// Fault is one single-transient injection: flip bit Bit of module Module
+// at the start of cycle Cycle.
+type Fault struct {
+	Module faults.Module
+	Bit    int
+	Cycle  uint64
+}
+
+// simtEntry is a saved SIMT stack level (kept in RAM below the cached
+// top-of-stack, which lives in scheduler flip-flops).
+type simtEntry struct {
+	pc     uint32
+	mask   uint32
+	reconv uint32
+}
+
+// Machine is the RTL streaming-multiprocessor model.
+type Machine struct {
+	// Flip-flop state: the injection targets of Table I.
+	Sched  *State
+	Pipe   *State
+	FP32   *State
+	INT    *State
+	SFU    *State
+	SFUCtl *State
+
+	sf schedFields
+	pf pipeFields
+	xf fpFields
+	nf intFields
+	uf sfuFields
+	cf ctlFields
+
+	// Behavioural memories (ECC-protected in the paper's threat model,
+	// therefore not injection targets).
+	prog     *kasm.Program
+	imem     []isa.Word
+	regs     [MaxWarps][isa.NumRegs][WarpSize]uint32
+	preds    [MaxWarps][isa.NumPreds]uint32
+	stacks   [MaxWarps][]simtEntry
+	warpMask [MaxWarps]uint32 // top-of-stack active masks (SRS block RAM)
+	global   []uint32
+	shared   []uint32
+
+	grid, block int
+	curBlock    int
+	nwarps      int
+	cycle       uint64
+	maxCycles   uint64
+	fault       *Fault
+	injected    bool
+	err         error
+	blockDone   bool
+	machineDone bool
+}
+
+// New constructs a machine with all module layouts instantiated.
+func New() *Machine {
+	m := &Machine{
+		Sched:  NewState(newSchedLayout()),
+		Pipe:   NewState(newPipeLayout()),
+		FP32:   NewState(newFP32Layout()),
+		INT:    NewState(newINTLayout()),
+		SFU:    NewState(newSFULayout()),
+		SFUCtl: NewState(newSFUCtlLayout()),
+	}
+	m.sf.init(m.Sched.Lay)
+	m.pf.init(m.Pipe.Lay)
+	m.xf.init(m.FP32.Lay)
+	m.nf.init(m.INT.Lay)
+	m.uf.init(m.SFU.Lay)
+	m.cf.init(m.SFUCtl.Lay)
+	return m
+}
+
+// ModuleState returns the flip-flop state of one Table I module.
+func (m *Machine) ModuleState(mod faults.Module) *State {
+	switch mod {
+	case faults.ModFP32:
+		return m.FP32
+	case faults.ModINT:
+		return m.INT
+	case faults.ModSFU:
+		return m.SFU
+	case faults.ModSFUCtl:
+		return m.SFUCtl
+	case faults.ModSched:
+		return m.Sched
+	default:
+		return m.Pipe
+	}
+}
+
+// ModuleBits returns the flip-flop count of one module (Table I).
+func ModuleBits(mod faults.Module) int {
+	switch mod {
+	case faults.ModFP32:
+		return FFCountFP32
+	case faults.ModINT:
+		return FFCountINT
+	case faults.ModSFU:
+		return FFCountSFU
+	case faults.ModSFUCtl:
+		return FFCountSFUCtl
+	case faults.ModSched:
+		return FFCountSched
+	default:
+		return FFCountPipe
+	}
+}
+
+// Inject schedules a single-transient fault for the next Run.
+func (m *Machine) Inject(f Fault) { fc := f; m.fault = &fc }
+
+// Cycles returns the cycle count of the last Run.
+func (m *Machine) Cycles() uint64 { return m.cycle }
+
+// Run executes prog on a grid of blocks (sequentially, as FlexGripPlus
+// maps one block at a time onto its single SM) with the given global
+// memory image and per-block shared memory size, until completion, DUE,
+// or the cycle budget expires.
+func (m *Machine) Run(prog *kasm.Program, grid, block int, global []uint32, sharedWords int, maxCycles uint64) error {
+	if prog == nil || len(prog.Instrs) == 0 {
+		return fmt.Errorf("%w: empty program", ErrBadLaunch)
+	}
+	if block <= 0 || block > MaxWarps*WarpSize || grid <= 0 {
+		return fmt.Errorf("%w: grid %d block %d", ErrBadLaunch, grid, block)
+	}
+	m.prog = prog
+	m.imem = prog.Words
+	m.global = global
+	m.shared = make([]uint32, sharedWords)
+	m.grid, m.block = grid, block
+	m.maxCycles = maxCycles
+	m.cycle = 0
+	m.err = nil
+	m.injected = false
+	m.machineDone = false
+
+	m.Sched.Reset()
+	m.Pipe.Reset()
+	m.FP32.Reset()
+	m.INT.Reset()
+	m.SFU.Reset()
+	m.SFUCtl.Reset()
+
+	for b := 0; b < grid && m.err == nil; b++ {
+		m.curBlock = b
+		m.initBlock()
+		for !m.blockDone && m.err == nil {
+			if m.cycle >= m.maxCycles {
+				m.err = ErrWatchdog
+				break
+			}
+			m.stepCycle()
+		}
+	}
+	m.machineDone = m.err == nil
+	m.fault = nil
+	return m.err
+}
+
+// initBlock loads the warp table for one block.
+func (m *Machine) initBlock() {
+	m.blockDone = false
+	m.nwarps = (m.block + WarpSize - 1) / WarpSize
+	for i := range m.shared {
+		m.shared[i] = 0
+	}
+	for w := 0; w < MaxWarps; w++ {
+		m.stacks[w] = m.stacks[w][:0]
+		for r := range m.regs[w] {
+			for l := range m.regs[w][r] {
+				m.regs[w][r][l] = 0
+			}
+		}
+		for p := range m.preds[w] {
+			m.preds[w][p] = 0
+		}
+		m.preds[w][isa.PT] = 0xFFFFFFFF
+		if w < m.nwarps {
+			lanesLive := m.block - w*WarpSize
+			mask := uint32(0xFFFFFFFF)
+			if lanesLive < WarpSize {
+				mask = 1<<uint(lanesLive) - 1
+			}
+			m.warpMask[w] = mask
+			m.Sched.Set(m.sf.pc[w], 0)
+			m.Sched.Set(m.sf.reconv[w], reconvNone)
+			m.Sched.Set(m.sf.state[w], stReady)
+			m.Sched.Set(m.sf.depth[w], 0)
+			m.Sched.Set(m.sf.slot[w], uint64(w))
+			m.Sched.Set(m.sf.ibuf[w], 0)
+			m.Sched.Set(m.sf.groupen[w], 0xFF)
+			m.Sched.Set(m.sf.wctl[w], 0)
+		} else {
+			m.warpMask[w] = 0
+			m.Sched.Set(m.sf.state[w], stEmpty)
+			m.Sched.Set(m.sf.groupen[w], 0)
+		}
+	}
+	m.Sched.Set(m.sf.livewarps, uint64(m.nwarps))
+	m.Sched.Set(m.sf.barwait, 0)
+	m.Sched.Set(m.sf.rrptr, 0)
+	m.Sched.Set(m.sf.phase, phSched)
+}
+
+// stepCycle advances the machine one clock cycle, applying any scheduled
+// fault at the cycle boundary.
+func (m *Machine) stepCycle() {
+	if m.fault != nil && !m.injected && m.cycle == m.fault.Cycle {
+		m.ModuleState(m.fault.Module).FlipBit(m.fault.Bit)
+		m.injected = true
+	}
+	switch m.Sched.Get(m.sf.phase) {
+	case phSched:
+		m.phaseSched()
+	case phFetch:
+		m.phaseFetch()
+	case phDecode:
+		m.phaseDecode()
+	case phCollect:
+		m.phaseCollect()
+	case phIssue:
+		m.phaseIssue()
+	case phExec:
+		m.phaseExec()
+	case phGroupWB:
+		m.phaseGroupWB()
+	case phMemAddr:
+		m.phaseMemAddr()
+	case phMemAccess:
+		m.phaseMemAccess()
+	case phWriteback:
+		m.phaseWriteback()
+	case phCommit:
+		m.phaseCommit()
+	default:
+		// Corrupted phase register: control logic is lost.
+		m.err = ErrBadStack
+	}
+	m.cycle++
+	m.Sched.Set(m.sf.cyclectr, uint64(uint32(m.cycle)))
+}

@@ -1,0 +1,467 @@
+package rtl
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"gpufi/internal/emu"
+	"gpufi/internal/faults"
+	"gpufi/internal/isa"
+	"gpufi/internal/kasm"
+	"gpufi/internal/stats"
+)
+
+const testMaxCycles = 2_000_000
+
+// Register conventions shared by the test kernels.
+const (
+	rTid  = isa.Reg(1)
+	rA    = isa.Reg(2)
+	rB    = isa.Reg(3)
+	rC    = isa.Reg(4)
+	rAddr = isa.Reg(5)
+	rTmp  = isa.Reg(6)
+)
+
+// runBoth executes prog on the RTL machine and the functional emulator
+// with identical memory images and asserts bit-identical results.
+func runBoth(t *testing.T, prog *kasm.Program, grid, block int, global []uint32, sharedWords int) []uint32 {
+	t.Helper()
+	gRTL := append([]uint32(nil), global...)
+	gEmu := append([]uint32(nil), global...)
+
+	m := New()
+	if err := m.Run(prog, grid, block, gRTL, sharedWords, testMaxCycles); err != nil {
+		t.Fatalf("rtl run: %v", err)
+	}
+	if _, err := emu.Run(&emu.Launch{
+		Prog: prog, Grid: grid, Block: block,
+		Global: gEmu, SharedWords: sharedWords,
+	}); err != nil {
+		t.Fatalf("emu run: %v", err)
+	}
+	for i := range gRTL {
+		if gRTL[i] != gEmu[i] {
+			t.Fatalf("rtl/emu divergence at word %d: rtl=%#x emu=%#x", i, gRTL[i], gEmu[i])
+		}
+	}
+	return gRTL
+}
+
+func f32(v float32) uint32 { return math.Float32bits(v) }
+
+func vecOpProg(t *testing.T, op isa.Opcode) *kasm.Program {
+	t.Helper()
+	b := kasm.New("vecop")
+	b.S2R(rTid, isa.SRTid)
+	b.Gld(rA, rTid, 0)
+	b.Gld(rB, rTid, 64)
+	b.Gld(rC, rTid, 128)
+	b.Emit(isa.Instr{Op: op, Guard: isa.PredTrue, Dst: rTmp, SrcA: rA, SrcB: rB, SrcC: rC})
+	b.Gst(rTid, 192, rTmp)
+	p, err := b.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestRTLVectorIntAdd(t *testing.T) {
+	global := make([]uint32, 256)
+	for i := 0; i < 64; i++ {
+		global[i] = uint32(i)
+		global[64+i] = uint32(1000 * i)
+	}
+	out := runBoth(t, vecOpProg(t, isa.OpIADD), 1, 64, global, 0)
+	for i := 0; i < 64; i++ {
+		if out[192+i] != uint32(i+1000*i) {
+			t.Fatalf("out[%d] = %d", i, out[192+i])
+		}
+	}
+}
+
+func TestRTLFloatOpsMatchEmulatorRandom(t *testing.T) {
+	r := stats.NewRNG(2024)
+	for _, op := range []isa.Opcode{isa.OpFADD, isa.OpFMUL, isa.OpFFMA} {
+		prog := vecOpProg(t, op)
+		global := make([]uint32, 256)
+		for trial := 0; trial < 8; trial++ {
+			for i := 0; i < 192; i++ {
+				if r.Intn(10) == 0 {
+					global[i] = uint32(r.Uint64()) // arbitrary bit pattern
+				} else {
+					global[i] = f32(float32(r.Float64Range(-1e9, 1e9)))
+				}
+			}
+			runBoth(t, prog, 1, 64, global, 0)
+		}
+	}
+}
+
+func TestRTLIntOpsMatchEmulatorRandom(t *testing.T) {
+	r := stats.NewRNG(77)
+	for _, op := range []isa.Opcode{isa.OpIADD, isa.OpIMUL, isa.OpIMAD, isa.OpAND, isa.OpXOR} {
+		prog := vecOpProg(t, op)
+		global := make([]uint32, 256)
+		for i := 0; i < 192; i++ {
+			global[i] = uint32(r.Uint64())
+		}
+		runBoth(t, prog, 1, 64, global, 0)
+	}
+}
+
+func TestRTLSFUMatchesEmulator(t *testing.T) {
+	for _, op := range []isa.Opcode{isa.OpFSIN, isa.OpFEXP, isa.OpFRCP, isa.OpFRSQRT} {
+		prog := vecOpProg(t, op)
+		global := make([]uint32, 256)
+		for i := 0; i < 64; i++ {
+			global[i] = f32(0.01 + float32(i)*0.024) // (0, pi/2)
+		}
+		out := runBoth(t, prog, 1, 64, global, 0)
+		// Sanity: FSIN result for x=0.97 should be near sin.
+		if op == isa.OpFSIN {
+			x := float64(math.Float32frombits(global[40]))
+			got := float64(math.Float32frombits(out[192+40]))
+			if math.Abs(got-math.Sin(x)) > 1e-5 {
+				t.Errorf("rtl sin(%v) = %v", x, got)
+			}
+		}
+	}
+}
+
+func TestRTLSFUSpecialInputs(t *testing.T) {
+	specials := []uint32{
+		f32(0), f32(float32(math.Inf(1))), f32(float32(math.Inf(-1))),
+		0x7FC00000, // NaN
+		f32(-2.5), f32(200), f32(-200), f32(1e30), f32(1e-30),
+	}
+	for _, op := range []isa.Opcode{isa.OpFSIN, isa.OpFEXP, isa.OpFRCP, isa.OpFRSQRT} {
+		prog := vecOpProg(t, op)
+		global := make([]uint32, 256)
+		for i := 0; i < 64; i++ {
+			global[i] = specials[i%len(specials)]
+		}
+		runBoth(t, prog, 1, 64, global, 0)
+	}
+}
+
+func TestRTLDivergenceMatchesEmulator(t *testing.T) {
+	b := kasm.New("ifelse")
+	b.S2R(rTid, isa.SRTid)
+	b.AndI(rTmp, rTid, 1)
+	b.ISetPI(isa.P(0), isa.CmpEQ, rTmp, 0)
+	b.IfElse(isa.P(0),
+		func() { b.MovF(rC, 1.0) },
+		func() { b.MovF(rC, 2.0) },
+	)
+	b.Gst(rTid, 0, rC)
+	prog, err := b.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := runBoth(t, prog, 1, 64, make([]uint32, 64), 0)
+	for i := 0; i < 64; i++ {
+		want := f32(1.0)
+		if i%2 == 1 {
+			want = f32(2.0)
+		}
+		if out[i] != want {
+			t.Fatalf("lane %d = %#x", i, out[i])
+		}
+	}
+}
+
+func TestRTLDivergentLoopMatchesEmulator(t *testing.T) {
+	b := kasm.New("divloop")
+	b.S2R(rTid, isa.SRTid)
+	b.AndI(rTid, rTid, 7) // trip counts 0..7 to keep the RTL run short
+	b.MovI(rC, 0)
+	b.MovI(rTmp, 0)
+	b.Label("top")
+	b.IAddI(rC, rC, 1)
+	b.IAddI(rTmp, rTmp, 1)
+	b.ISetP(isa.P(0), isa.CmpLE, rTmp, rTid)
+	b.BraIf(isa.P(0), "top")
+	b.S2R(rTid, isa.SRTid)
+	b.Gst(rTid, 0, rC)
+	prog, err := b.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := runBoth(t, prog, 1, 64, make([]uint32, 64), 0)
+	for i := 0; i < 64; i++ {
+		if out[i] != uint32(i%8+1) {
+			t.Fatalf("out[%d] = %d, want %d", i, out[i], i%8+1)
+		}
+	}
+}
+
+func TestRTLSharedMemoryBarrierMatchesEmulator(t *testing.T) {
+	const blockDim = 64
+	b := kasm.New("reverse")
+	b.S2R(rTid, isa.SRTid)
+	b.Gld(rA, rTid, 0)
+	b.Sst(rTid, 0, rA)
+	b.Bar()
+	b.MovI(rTmp, blockDim-1)
+	b.IMadI(rAddr, rTid, -1, rTmp)
+	b.Sld(rB, rAddr, 0)
+	b.Gst(rTid, blockDim, rB)
+	prog, err := b.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	global := make([]uint32, 2*blockDim)
+	for i := 0; i < blockDim; i++ {
+		global[i] = uint32(i * 3)
+	}
+	out := runBoth(t, prog, 1, blockDim, global, blockDim)
+	for i := 0; i < blockDim; i++ {
+		if out[blockDim+i] != uint32((blockDim-1-i)*3) {
+			t.Fatalf("reverse[%d] = %d", i, out[blockDim+i])
+		}
+	}
+}
+
+func TestRTLMultiBlock(t *testing.T) {
+	b := kasm.New("blocks")
+	b.S2R(rTid, isa.SRTid)
+	b.S2R(rA, isa.SRCtaid)
+	b.S2R(rB, isa.SRNtid)
+	b.IMad(rAddr, rA, rB, rTid)
+	b.IAddI(rC, rAddr, 100)
+	b.Gst(rAddr, 0, rC)
+	prog, err := b.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := runBoth(t, prog, 3, 32, make([]uint32, 96), 0)
+	for i := 0; i < 96; i++ {
+		if out[i] != uint32(i+100) {
+			t.Fatalf("out[%d] = %d", i, out[i])
+		}
+	}
+}
+
+func TestRTLGuardedExit(t *testing.T) {
+	b := kasm.New("exit")
+	b.S2R(rTid, isa.SRTid)
+	b.ISetPI(isa.P(0), isa.CmpGE, rTid, 16)
+	b.Emit(isa.Instr{Op: isa.OpEXIT, Guard: isa.P(0)})
+	b.MovI(rC, 9)
+	b.Gst(rTid, 0, rC)
+	prog, err := b.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := runBoth(t, prog, 1, 32, make([]uint32, 32), 0)
+	for i := 0; i < 32; i++ {
+		want := uint32(9)
+		if i >= 16 {
+			want = 0
+		}
+		if out[i] != want {
+			t.Fatalf("out[%d] = %d", i, out[i])
+		}
+	}
+}
+
+func TestRTLWatchdog(t *testing.T) {
+	b := kasm.New("hang")
+	b.Label("top")
+	b.Bra("top")
+	prog, err := b.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New()
+	err = m.Run(prog, 1, 32, nil, 0, 5000)
+	if !errors.Is(err, ErrWatchdog) {
+		t.Errorf("err = %v, want ErrWatchdog", err)
+	}
+}
+
+func TestRTLBadAddressIsDUE(t *testing.T) {
+	b := kasm.New("oob")
+	b.MovI(rAddr, 100000)
+	b.Gld(rA, rAddr, 0)
+	prog, err := b.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New()
+	err = m.Run(prog, 1, 32, make([]uint32, 4), 0, testMaxCycles)
+	if !errors.Is(err, ErrBadAddress) {
+		t.Errorf("err = %v, want ErrBadAddress", err)
+	}
+}
+
+func TestRTLIllegalInstructionIsDUE(t *testing.T) {
+	b := kasm.New("ill")
+	b.Nop()
+	prog, err := b.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog.Words[0] = isa.Word{0, 0} // zero opcode field: illegal
+	m := New()
+	err = m.Run(prog, 1, 32, nil, 0, testMaxCycles)
+	if !errors.Is(err, ErrIllegalInstr) {
+		t.Errorf("err = %v, want ErrIllegalInstr", err)
+	}
+}
+
+func TestRTLCycleCountsPlausible(t *testing.T) {
+	prog := vecOpProg(t, isa.OpFADD)
+	global := make([]uint32, 256)
+	m := New()
+	if err := m.Run(prog, 1, 64, global, 0, testMaxCycles); err != nil {
+		t.Fatal(err)
+	}
+	c := m.Cycles()
+	// 6 instructions x 2 warps, tens of cycles each.
+	if c < 100 || c > 10000 {
+		t.Errorf("cycle count %d implausible", c)
+	}
+}
+
+func TestRTLDeterministicRuns(t *testing.T) {
+	prog := vecOpProg(t, isa.OpFFMA)
+	mk := func() []uint32 {
+		g := make([]uint32, 256)
+		for i := 0; i < 192; i++ {
+			g[i] = f32(float32(i) * 0.37)
+		}
+		m := New()
+		if err := m.Run(prog, 1, 64, g, 0, testMaxCycles); err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic at %d", i)
+		}
+	}
+}
+
+func TestRTLMachineReusableAcrossRuns(t *testing.T) {
+	prog := vecOpProg(t, isa.OpIADD)
+	m := New()
+	for run := 0; run < 3; run++ {
+		g := make([]uint32, 256)
+		for i := 0; i < 64; i++ {
+			g[i] = uint32(i + run)
+		}
+		if err := m.Run(prog, 1, 64, g, 0, testMaxCycles); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 64; i++ {
+			if g[192+i] != uint32(i+run) {
+				t.Fatalf("run %d out[%d] = %d", run, i, g[192+i])
+			}
+		}
+	}
+}
+
+func TestFaultInjectionOutcomesSanity(t *testing.T) {
+	// Inject faults uniformly into each module during an FFMA
+	// micro-benchmark; check that the machine never panics, that some
+	// faults are masked and (for datapath modules) some cause SDCs.
+	prog := vecOpProg(t, isa.OpFFMA)
+	golden := make([]uint32, 256)
+	for i := 0; i < 192; i++ {
+		golden[i] = f32(1.5 + float32(i)*0.25)
+	}
+	m := New()
+	gold := append([]uint32(nil), golden...)
+	if err := m.Run(prog, 1, 64, gold, 0, testMaxCycles); err != nil {
+		t.Fatal(err)
+	}
+	goldenCycles := m.Cycles()
+
+	r := stats.NewRNG(99)
+	for _, mod := range faults.AllModules() {
+		masked, sdc, due := 0, 0, 0
+		for i := 0; i < 300; i++ {
+			g := append([]uint32(nil), golden...)
+			m.Inject(Fault{
+				Module: mod,
+				Bit:    r.Intn(ModuleBits(mod)),
+				Cycle:  uint64(r.Intn(int(goldenCycles))),
+			})
+			err := m.Run(prog, 1, 64, g, 0, goldenCycles*10+1000)
+			if err != nil {
+				due++
+				continue
+			}
+			diff := false
+			for k := range g {
+				if g[k] != gold[k] {
+					diff = true
+					break
+				}
+			}
+			if diff {
+				sdc++
+			} else {
+				masked++
+			}
+		}
+		t.Logf("%s: masked=%d sdc=%d due=%d", mod, masked, sdc, due)
+		if masked == 0 {
+			t.Errorf("%s: no masked faults in 300 injections (implausible)", mod)
+		}
+		if mod == faults.ModFP32 && sdc == 0 {
+			t.Errorf("FP32: no SDCs in 300 injections during FFMA (implausible)")
+		}
+	}
+}
+
+func TestFaultInjectionDoesNotPersistAcrossRuns(t *testing.T) {
+	prog := vecOpProg(t, isa.OpIADD)
+	m := New()
+	g1 := make([]uint32, 256)
+	for i := 0; i < 64; i++ {
+		g1[i] = uint32(i)
+	}
+	m.Inject(Fault{Module: faults.ModINT, Bit: 5, Cycle: 40})
+	_ = m.Run(prog, 1, 64, g1, 0, testMaxCycles)
+
+	// Second run without injection must be fault-free.
+	g2 := make([]uint32, 256)
+	for i := 0; i < 64; i++ {
+		g2[i] = uint32(i)
+	}
+	if err := m.Run(prog, 1, 64, g2, 0, testMaxCycles); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 64; i++ {
+		if g2[192+i] != uint32(i) {
+			t.Fatalf("stale fault leaked into clean run at %d", i)
+		}
+	}
+}
+
+func BenchmarkRTLMicrobenchRun(b *testing.B) {
+	bb := kasm.New("vecop")
+	bb.S2R(rTid, isa.SRTid)
+	bb.Gld(rA, rTid, 0)
+	bb.Gld(rB, rTid, 64)
+	bb.FAdd(rTmp, rA, rB)
+	bb.Gst(rTid, 128, rTmp)
+	prog, err := bb.Finalize()
+	if err != nil {
+		b.Fatal(err)
+	}
+	global := make([]uint32, 256)
+	m := New()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.Run(prog, 1, 64, global, 0, testMaxCycles); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

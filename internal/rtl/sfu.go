@@ -1,0 +1,335 @@
+package rtl
+
+import (
+	"math"
+
+	"gpufi/internal/fp32"
+	"gpufi/internal/isa"
+)
+
+// SFU operation encodings (2-bit op fields).
+const (
+	sfuSin uint64 = iota
+	sfuExp
+	sfuRcp
+	sfuRsqrt
+)
+
+func sfuOpcode(op isa.Opcode) uint64 {
+	switch op {
+	case isa.OpFEXP:
+		return sfuExp
+	case isa.OpFRCP:
+		return sfuRcp
+	case isa.OpFRSQRT:
+		return sfuRsqrt
+	default:
+		return sfuSin
+	}
+}
+
+// Micro-sequence lengths per operation (cycles from grant to result).
+func sfuSeqLen(op uint64) uint64 {
+	switch op {
+	case sfuSin:
+		return 9
+	case sfuExp:
+		return 12
+	case sfuRcp:
+		return 8
+	default: // rsqrt
+		return 11
+	}
+}
+
+// stepSFU advances the shared-SFU subsystem one cycle: the controller
+// enqueues the group's requests, arbitrates the two units, and routes
+// results back to the execute output latch. Because the two units are
+// time-shared by all lanes, a single controller fault corrupts several
+// threads — the paper's explanation for multi-thread SDCs on FSIN/FEXP
+// (§V-B).
+func (m *Machine) stepSFU() {
+	c, s := &m.cf, m.SFUCtl
+	switch s.Get(c.phase) {
+	case 0: // enqueue the issued group
+		sub := uint32(m.Pipe.Get(m.pf.issSubmask))
+		op := sfuOpcode(isa.Opcode(m.Pipe.Get(m.pf.issOp)))
+		warp := m.Pipe.Get(m.pf.issWarp)
+		group := m.Pipe.Get(m.pf.issGroup)
+		for q := 0; q < 8; q++ {
+			if sub>>uint(q)&1 == 1 {
+				s.Set(c.qLane[q], uint64(q))
+				s.Set(c.qOp[q], op)
+				s.Set(c.qWarp[q], warp)
+				s.Set(c.qValid[q], 1)
+				s.Set(c.qGroup[q], group)
+			} else {
+				s.Set(c.qValid[q], 0)
+			}
+		}
+		s.Set(c.reqMask, uint64(sub))
+		// Latch the coefficient ROM contents into both units once per
+		// warp instruction (at the first group's enqueue). The latches
+		// then serve all 32 lanes time-shared onto the two units, so a
+		// single corrupted coefficient bit poisons every subsequent lane
+		// on that unit — the paper's multi-thread SFU corruption mode
+		// (avg. 8 corrupted threads, §V-B).
+		if m.Pipe.Get(m.pf.issGroup) == 0 {
+			for u := 0; u < NumSFUs; u++ {
+				switch op {
+				case sfuSin:
+					for i, cv := range fp32.SinCoeffs {
+						m.SFU.Set(m.uf.coef[u][i], uint64(math.Float32bits(cv)))
+					}
+				case sfuExp:
+					for i, cv := range fp32.ExpCoeffs {
+						m.SFU.Set(m.uf.coef[u][i], uint64(math.Float32bits(cv)))
+					}
+				}
+			}
+		}
+		s.Set(c.phase, 1)
+	default: // arbitrate and step the units
+		for u := 0; u < NumSFUs; u++ {
+			busyF, cntF, dstF, grantF := c.busy0, c.cnt0, c.dst0, c.grant0
+			if u == 1 {
+				busyF, cntF, dstF, grantF = c.busy1, c.cnt1, c.dst1, c.grant1
+			}
+			if s.Get(busyF) == 0 {
+				// Grant the lowest pending queue entry.
+				for q := 0; q < 8; q++ {
+					if s.Get(c.qValid[q]) == 0 {
+						continue
+					}
+					lane := int(s.Get(c.qLane[q])) & 7
+					op := s.Get(c.qOp[q])
+					s.Set(c.qValid[q], 0)
+					s.Set(grantF, uint64(q))
+					s.Set(dstF, uint64(lane))
+					s.Set(busyF, 1)
+					s.Set(cntF, sfuSeqLen(op))
+					m.sfuGrant(u, lane, op)
+					break
+				}
+				continue
+			}
+			// Step a busy unit.
+			m.sfuStep(u)
+			cnt := s.Get(cntF)
+			if cnt > 0 {
+				cnt--
+			}
+			s.Set(cntF, cnt)
+			if cnt == 0 {
+				dst := int(s.Get(dstF)) & 7
+				m.Pipe.Set(m.pf.exout[dst], m.SFU.Get(m.uf.res[u]))
+				s.Set(busyF, 0)
+				m.SFU.Set(m.uf.valid[u], 0)
+			}
+		}
+		// All served?
+		pending := false
+		for q := 0; q < 8; q++ {
+			if s.Get(c.qValid[q]) == 1 {
+				pending = true
+			}
+		}
+		if !pending && s.Get(c.busy0) == 0 && s.Get(c.busy1) == 0 {
+			s.Set(c.phase, 0)
+			m.Sched.Set(m.sf.phase, phGroupWB)
+		}
+	}
+}
+
+// sfuGrant latches a request into unit u: the operand from the execute
+// input latch, the coefficient ROM contents, and the iteration counter.
+func (m *Machine) sfuGrant(u, lane int, op uint64) {
+	f, s := &m.uf, m.SFU
+	x := uint32(m.Pipe.Get(m.pf.exinA[lane]))
+	s.Set(f.x[u], uint64(x))
+	s.Set(f.op[u], op)
+	s.Set(f.lane[u], uint64(lane))
+	s.Set(f.valid[u], 1)
+	s.Set(f.iter[u], 0)
+}
+
+// f32 helpers reading/writing 32-bit float fields.
+func (m *Machine) sfuF(fi int) float32       { return math.Float32frombits(uint32(m.SFU.Get(fi))) }
+func (m *Machine) sfuSetF(fi int, v float32) { m.SFU.Set(fi, uint64(math.Float32bits(v))) }
+
+// sfuStep executes one micro-sequence step of unit u. The sequences
+// replicate fp32.Sin / fp32.Exp / fp32.Rcp / fp32.Rsqrt operation by
+// operation, with every intermediate held in an injectable register.
+func (m *Machine) sfuStep(u int) {
+	f, s := &m.uf, m.SFU
+	op := s.Get(f.op[u])
+	it := int(s.Get(f.iter[u]))
+	s.Set(f.iter[u], uint64(it+1))
+	x := m.sfuF(f.x[u])
+	coef := func(i int) float32 { return math.Float32frombits(uint32(s.Get(f.coef[u][i]))) }
+	pv := func(i int) float32 { return m.sfuF(f.pv[u][i]) }
+	pa := func(i int) float32 { return m.sfuF(f.pa[u][i]) }
+
+	switch op {
+	case sfuSin:
+		// Mirrors fp32.Sin: x2; Horner over 6 coefficients; x*x2; final fma.
+		switch it {
+		case 0:
+			xf := fp32.FTZ(x)
+			s.Set(f.x[u], uint64(math.Float32bits(xf)))
+			if xf != xf { // NaN passthrough
+				m.sfuSetF(f.res[u], xf)
+				return
+			}
+			m.sfuSetF(f.x2[u], fp32.Mul(xf, xf))
+		case 1:
+			m.sfuSetF(f.pv[u][0], coef(0))
+		case 2, 3, 4, 5, 6:
+			x2 := m.sfuF(f.x2[u])
+			m.sfuSetF(f.pv[u][it-1], fp32.Fma(pv(it-2), x2, coef(it-1)))
+		case 7:
+			m.sfuSetF(f.pa[u][0], fp32.Mul(x, m.sfuF(f.x2[u])))
+		default:
+			if m.sfuF(f.x[u]) == m.sfuF(f.x[u]) { // skip if NaN already resolved
+				m.sfuSetF(f.res[u], fp32.Fma(pa(0), pv(5), x))
+			}
+		}
+	case sfuExp:
+		// Mirrors fp32.Exp.
+		switch it {
+		case 0:
+			xf := fp32.FTZ(x)
+			s.Set(f.x[u], uint64(math.Float32bits(xf)))
+			switch {
+			case xf != xf:
+				m.sfuSetF(f.res[u], xf)
+			case xf > 88.72284:
+				m.sfuSetF(f.res[u], float32(math.Inf(1)))
+			case xf < -87.33655:
+				m.sfuSetF(f.res[u], 0)
+			default:
+				m.sfuSetF(f.pv[u][0], fp32.Mul(xf, fp32.Log2E))
+			}
+		case 1:
+			t := pv(0)
+			half := float32(0.5)
+			if t < 0 {
+				half = -0.5
+			}
+			s.Set(f.n[u], encS(fp32.F2I(fp32.Add(t, half)), 9))
+		case 2:
+			m.sfuSetF(f.pv[u][1], fp32.I2F(decS(s.Get(f.n[u]), 9)))
+		case 3:
+			m.sfuSetF(f.fr[u], fp32.Fma(pv(1), -fp32.Ln2Hi, x))
+		case 4:
+			m.sfuSetF(f.fr[u], fp32.Fma(pv(1), -fp32.Ln2Lo, m.sfuF(f.fr[u])))
+		case 5:
+			m.sfuSetF(f.pv[u][2], coef(0))
+		case 6, 7, 8, 9:
+			fr := m.sfuF(f.fr[u])
+			m.sfuSetF(f.pv[u][it-3], fp32.Fma(pv(it-4), fr, coef(it-5)))
+		case 10:
+			fr := m.sfuF(f.fr[u])
+			m.sfuSetF(f.pv[u][7], fp32.Fma(pv(6), fr, 1.0))
+		default:
+			if !m.sfuEarlyOut(u) {
+				m.sfuSetF(f.res[u], fp32.Ldexp(pv(7), decS(s.Get(f.n[u]), 9)))
+			}
+		}
+	case sfuRcp:
+		// Mirrors fp32.Rcp: magic seed + 3 Newton iterations.
+		switch it {
+		case 0:
+			xf := fp32.FTZ(x)
+			s.Set(f.x[u], uint64(math.Float32bits(xf)))
+			b := math.Float32bits(xf)
+			uv := fp32.Unpack(b)
+			switch uv.Cls {
+			case fp32.ClsNaN:
+				m.sfuSetF(f.res[u], xf)
+			case fp32.ClsZero:
+				s.Set(f.res[u], uint64(uv.Sign<<31|0x7F800000))
+			case fp32.ClsInf:
+				s.Set(f.res[u], uint64(uv.Sign<<31))
+			default:
+				s.Set(f.seed[u], uint64(fp32.RcpMagic-b))
+			}
+		case 1, 3, 5:
+			y := m.sfuF(f.seed[u])
+			if it > 1 {
+				y = pv((it - 3) / 2)
+			}
+			m.sfuSetF(f.pa[u][(it-1)/2], fp32.Fma(-m.sfuF(f.x[u]), y, 1.0))
+		case 2, 4, 6:
+			y := m.sfuF(f.seed[u])
+			if it > 2 {
+				y = pv(it/2 - 2)
+			}
+			m.sfuSetF(f.pv[u][it/2-1], fp32.Fma(y, pa(it/2-1), y))
+		default:
+			if !m.sfuEarlyOut(u) {
+				m.sfuSetF(f.res[u], fp32.FTZ(pv(2)))
+			}
+		}
+	default: // rsqrt
+		// Mirrors fp32.Rsqrt.
+		switch it {
+		case 0:
+			xf := fp32.FTZ(x)
+			s.Set(f.x[u], uint64(math.Float32bits(xf)))
+			b := math.Float32bits(xf)
+			uv := fp32.Unpack(b)
+			switch {
+			case uv.Cls == fp32.ClsNaN:
+				m.sfuSetF(f.res[u], xf)
+			case uv.Cls == fp32.ClsZero:
+				s.Set(f.res[u], uint64(uv.Sign<<31|0x7F800000))
+			case uv.Sign == 1:
+				s.Set(f.res[u], 0x7FC00000)
+			case uv.Cls == fp32.ClsInf:
+				s.Set(f.res[u], 0)
+			default:
+				s.Set(f.seed[u], uint64(fp32.RsqrtMagic-b>>1))
+				m.sfuSetF(f.halfa[u], fp32.Mul(xf, 0.5))
+			}
+		case 1, 4, 7: // t = y*y
+			y := m.sfuF(f.seed[u])
+			if it > 1 {
+				y = pv(it/3 - 1)
+			}
+			m.sfuSetF(f.pa[u][it/3*2], fp32.Mul(y, y))
+		case 2, 5, 8: // t = 1.5 - halfa*t
+			m.sfuSetF(f.pa[u][(it-2)/3*2+1],
+				fp32.Fma(-m.sfuF(f.halfa[u]), pa((it-2)/3*2), 1.5))
+		case 3, 6, 9: // y = y*t
+			y := m.sfuF(f.seed[u])
+			if it > 3 {
+				y = pv(it/3 - 2)
+			}
+			m.sfuSetF(f.pv[u][it/3-1], fp32.Mul(y, pa((it-3)/3*2+1)))
+		default:
+			if !m.sfuEarlyOut(u) {
+				m.sfuSetF(f.res[u], fp32.FTZ(pv(2)))
+			}
+		}
+	}
+}
+
+// sfuEarlyOut reports whether the unit resolved a special case at grant
+// time (result already latched).
+func (m *Machine) sfuEarlyOut(u int) bool {
+	x := m.sfuF(m.uf.x[u])
+	b := math.Float32bits(x)
+	uv := fp32.Unpack(b)
+	op := m.SFU.Get(m.uf.op[u])
+	switch op {
+	case sfuExp:
+		return x != x || x > 88.72284 || x < -87.33655
+	case sfuRcp:
+		return uv.Cls != fp32.ClsNorm
+	case sfuRsqrt:
+		return uv.Cls != fp32.ClsNorm || uv.Sign == 1
+	default:
+		return x != x
+	}
+}

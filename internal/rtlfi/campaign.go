@@ -1,0 +1,262 @@
+package rtlfi
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"runtime"
+	"sync"
+
+	"gpufi/internal/faults"
+	"gpufi/internal/fp32"
+	"gpufi/internal/isa"
+	"gpufi/internal/kasm"
+	"gpufi/internal/rtl"
+	"gpufi/internal/stats"
+)
+
+// watchdogFactor scales the golden cycle count into the hang-detection
+// budget of faulty runs.
+const watchdogFactor = 10
+
+// valuesPerRange is the number of randomly selected operand draws per
+// input range (§V-A: "we perform a fault injection campaign on 4 different
+// randomly selected values for each input range").
+const valuesPerRange = 4
+
+// Spec describes one micro-benchmark campaign: inject NumFaults single
+// transients into Module while the Op micro-benchmark runs with operands
+// from Range.
+type Spec struct {
+	Op        isa.Opcode
+	Range     faults.InputRange
+	Module    faults.Module
+	NumFaults int
+	Seed      uint64
+	Workers   int // 0 = GOMAXPROCS
+}
+
+// Detailed is the paper's per-SDC detailed report record (§IV-A).
+type Detailed struct {
+	Fault      rtl.Fault
+	FieldName  string  // flip-flop group hit
+	Thread     int     // first corrupted thread
+	Golden     uint32  // golden output word of that thread
+	Faulty     uint32  // corrupted output word
+	BitsWrong  int     // corrupted bits in that word
+	Threads    int     // number of corrupted threads
+	RelErr     float64 // relative error of the first corrupted output
+}
+
+// Result aggregates one campaign.
+type Result struct {
+	Spec         Spec
+	Tally        faults.Tally
+	Syndromes    []float64 // relative error of every corrupted output word
+	ThreadCounts []int     // corrupted threads per SDC
+	BitsWrong    []int     // corrupted bits per corrupted word
+	Details      []Detailed
+	GoldenCycles uint64
+}
+
+// run describes one prepared input draw.
+type inputDraw struct {
+	global       []uint32
+	golden       []uint32
+	goldenCycles uint64
+}
+
+// RunMicro executes a micro-benchmark fault-injection campaign. The fault
+// list (bit, cycle, input draw) is generated deterministically from
+// Spec.Seed; faults are simulated in parallel on per-worker machines.
+func RunMicro(spec Spec) (*Result, error) {
+	if !ModuleUsed(spec.Module, spec.Op) {
+		return nil, fmt.Errorf("rtlfi: module %s idle during %s (not characterised)", spec.Module, spec.Op)
+	}
+	prog, err := BuildMicro(spec.Op)
+	if err != nil {
+		return nil, err
+	}
+	rng := stats.NewRNG(spec.Seed)
+
+	// Golden runs, one per input draw.
+	draws := make([]inputDraw, valuesPerRange)
+	m := rtl.New()
+	for i := range draws {
+		g := MicroInputs(spec.Op, spec.Range, rng)
+		golden := append([]uint32(nil), g...)
+		if err := m.Run(prog, 1, MicroThreads, golden, 0, 1_000_000); err != nil {
+			return nil, fmt.Errorf("rtlfi: golden run failed: %w", err)
+		}
+		draws[i] = inputDraw{global: g, golden: golden, goldenCycles: m.Cycles()}
+	}
+
+	// Deterministic fault list.
+	type job struct {
+		fault rtl.Fault
+		draw  int
+	}
+	jobs := make([]job, spec.NumFaults)
+	modBits := rtl.ModuleBits(spec.Module)
+	for i := range jobs {
+		d := i % valuesPerRange
+		jobs[i] = job{
+			draw: d,
+			fault: rtl.Fault{
+				Module: spec.Module,
+				Bit:    rng.Intn(modBits),
+				Cycle:  uint64(rng.Intn(int(draws[d].goldenCycles))),
+			},
+		}
+	}
+
+	workers := spec.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	partials := make([]*Result, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			res := &Result{Spec: spec}
+			machine := rtl.New()
+			for i := w; i < len(jobs); i += workers {
+				j := jobs[i]
+				d := &draws[j.draw]
+				g := append([]uint32(nil), d.global...)
+				machine.Inject(j.fault)
+				err := machine.Run(prog, 1, MicroThreads, g, 0,
+					d.goldenCycles*watchdogFactor+1000)
+				classify(res, spec.Op, j.fault, machine, g, d.golden, err)
+			}
+			partials[w] = res
+		}(w)
+	}
+	wg.Wait()
+
+	out := &Result{Spec: spec, GoldenCycles: draws[0].goldenCycles}
+	for _, p := range partials {
+		out.Tally.Merge(p.Tally)
+		out.Syndromes = append(out.Syndromes, p.Syndromes...)
+		out.ThreadCounts = append(out.ThreadCounts, p.ThreadCounts...)
+		out.BitsWrong = append(out.BitsWrong, p.BitsWrong...)
+		out.Details = append(out.Details, p.Details...)
+	}
+	return out, nil
+}
+
+// classify compares a faulty run against the golden output and updates the
+// campaign result.
+func classify(res *Result, op isa.Opcode, fault rtl.Fault, machine *rtl.Machine, g, golden []uint32, err error) {
+	if err != nil {
+		res.Tally.Add(faults.DUE, 0)
+		return
+	}
+	isFloat := op.IsFloat()
+	corrupted := 0
+	first := -1
+	var firstGold, firstFaulty uint32
+	for _, off := range outputOffsets(op) {
+		for t := 0; t < MicroThreads; t++ {
+			gw, fw := golden[off+t], g[off+t]
+			if gw == fw {
+				continue
+			}
+			corrupted++
+			if first < 0 {
+				first, firstGold, firstFaulty = t, gw, fw
+			}
+			res.Syndromes = append(res.Syndromes, relErrWord(gw, fw, isFloat))
+			res.BitsWrong = append(res.BitsWrong, bits.OnesCount32(gw^fw))
+		}
+	}
+	// Also scan input regions: a fault that corrupts memory outside the
+	// output area (e.g. a derailed store) is an SDC too.
+	if corrupted == 0 {
+		for i := range golden {
+			if golden[i] != g[i] {
+				corrupted++
+				if first < 0 {
+					first, firstGold, firstFaulty = i, golden[i], g[i]
+				}
+				res.Syndromes = append(res.Syndromes, relErrWord(golden[i], g[i], isFloat))
+				res.BitsWrong = append(res.BitsWrong, bits.OnesCount32(golden[i]^g[i]))
+			}
+		}
+	}
+	if corrupted == 0 {
+		res.Tally.Add(faults.Masked, 0)
+		return
+	}
+	res.Tally.Add(faults.SDC, corrupted)
+	res.ThreadCounts = append(res.ThreadCounts, corrupted)
+	res.Details = append(res.Details, Detailed{
+		Fault:     fault,
+		FieldName: machine.ModuleState(fault.Module).Lay.FieldAt(fault.Bit).Name,
+		Thread:    first,
+		Golden:    firstGold,
+		Faulty:    firstFaulty,
+		BitsWrong: bits.OnesCount32(firstGold ^ firstFaulty),
+		Threads:   corrupted,
+		RelErr:    relErrWord(firstGold, firstFaulty, isFloat),
+	})
+}
+
+// relErrWord computes the syndrome relative error of one corrupted word.
+func relErrWord(golden, faulty uint32, isFloat bool) float64 {
+	if isFloat {
+		return fp32.RelErrBits(golden, faulty)
+	}
+	g, f := float64(int32(golden)), float64(int32(faulty))
+	return fp32.RelErr(g, f)
+}
+
+// CharacterizedPrograms sanity-builds every micro-benchmark; used by tests
+// and by the campaign drivers.
+func CharacterizedPrograms() (map[isa.Opcode]*kasm.Program, error) {
+	out := make(map[isa.Opcode]*kasm.Program)
+	for _, op := range isa.CharacterizedOpcodes() {
+		p, err := BuildMicro(op)
+		if err != nil {
+			return nil, err
+		}
+		out[op] = p
+	}
+	return out, nil
+}
+
+// AvgThreadsForModule runs the §V-B multiplicity analysis helper: the mean
+// number of corrupted threads per SDC over a set of results.
+func AvgThreadsForModule(results []*Result) float64 {
+	var sum, n int
+	for _, r := range results {
+		for _, t := range r.ThreadCounts {
+			sum += t
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(sum) / float64(n)
+}
+
+// MedianSyndrome returns the median relative error of a campaign, the
+// §V-C input-dependence statistic.
+func MedianSyndrome(r *Result) float64 {
+	if len(r.Syndromes) == 0 {
+		return 0
+	}
+	finite := make([]float64, 0, len(r.Syndromes))
+	for _, s := range r.Syndromes {
+		if !math.IsInf(s, 0) && !math.IsNaN(s) {
+			finite = append(finite, s)
+		}
+	}
+	if len(finite) == 0 {
+		return math.Inf(1)
+	}
+	return stats.Summarize(finite).Median
+}

@@ -1,0 +1,160 @@
+package rtlfi
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"gpufi/internal/faults"
+	"gpufi/internal/mxm"
+	"gpufi/internal/rtl"
+	"gpufi/internal/stats"
+)
+
+// TMXMSpec describes a tiled-MxM characterisation campaign (§V-D): inject
+// into Module (scheduler or pipeline registers — the paper skips the
+// functional units here) while one 8x8 tile multiplication runs with
+// operands of the given kind.
+type TMXMSpec struct {
+	Module    faults.Module
+	Kind      mxm.TileKind
+	NumFaults int
+	Seed      uint64
+	Workers   int
+}
+
+// TMXMResult aggregates a t-MxM campaign: the outcome tally, the spatial
+// pattern census (Fig. 8 / Table II) and per-pattern relative-error pools
+// (Fig. 9).
+type TMXMResult struct {
+	Spec        TMXMSpec
+	Tally       faults.Tally
+	Patterns    [faults.NumPatterns]int
+	PatternErrs map[faults.Pattern][]float64
+	GoldenCycles uint64
+}
+
+// PatternShare returns the share of multi-element SDCs classified as p,
+// over all multi-element SDCs (Table II normalises over multiple
+// patterns; single corrupted elements are not listed).
+func (r *TMXMResult) PatternShare(p faults.Pattern) float64 {
+	multi := 0
+	for pat, n := range r.Patterns {
+		if faults.Pattern(pat) != faults.PatSingle {
+			multi += n
+		}
+	}
+	if multi == 0 {
+		return 0
+	}
+	return float64(r.Patterns[p]) / float64(multi)
+}
+
+// RunTMXM executes a t-MxM RTL fault-injection campaign.
+func RunTMXM(spec TMXMSpec) (*TMXMResult, error) {
+	if spec.Module != faults.ModSched && spec.Module != faults.ModPipe {
+		return nil, fmt.Errorf("rtlfi: t-MxM characterises scheduler and pipeline only (got %s)", spec.Module)
+	}
+	prog, err := mxm.Build(mxm.Tile)
+	if err != nil {
+		return nil, err
+	}
+	rng := stats.NewRNG(spec.Seed)
+
+	type draw struct {
+		global       []uint32
+		goldenC      []float32
+		goldenCycles uint64
+	}
+	draws := make([]draw, valuesPerRange)
+	m := rtl.New()
+	for i := range draws {
+		a, b := mxm.TileInputs(spec.Kind, rng.Uint64())
+		g := mxm.Pack(a, b, mxm.Tile)
+		golden := append([]uint32(nil), g...)
+		if err := m.Run(prog, 1, mxm.BlockThreads, golden, mxm.SharedWords, 5_000_000); err != nil {
+			return nil, fmt.Errorf("rtlfi: t-MxM golden run failed: %w", err)
+		}
+		draws[i] = draw{
+			global:       g,
+			goldenC:      mxm.ExtractC(golden, mxm.Tile),
+			goldenCycles: m.Cycles(),
+		}
+	}
+
+	type job struct {
+		fault rtl.Fault
+		draw  int
+	}
+	jobs := make([]job, spec.NumFaults)
+	modBits := rtl.ModuleBits(spec.Module)
+	for i := range jobs {
+		d := i % valuesPerRange
+		jobs[i] = job{
+			draw: d,
+			fault: rtl.Fault{
+				Module: spec.Module,
+				Bit:    rng.Intn(modBits),
+				Cycle:  uint64(rng.Intn(int(draws[d].goldenCycles))),
+			},
+		}
+	}
+
+	workers := spec.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	partials := make([]*TMXMResult, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			res := &TMXMResult{Spec: spec, PatternErrs: make(map[faults.Pattern][]float64)}
+			machine := rtl.New()
+			for i := w; i < len(jobs); i += workers {
+				j := jobs[i]
+				d := &draws[j.draw]
+				g := append([]uint32(nil), d.global...)
+				machine.Inject(j.fault)
+				err := machine.Run(prog, 1, mxm.BlockThreads, g, mxm.SharedWords,
+					d.goldenCycles*watchdogFactor+1000)
+				if err != nil {
+					res.Tally.Add(faults.DUE, 0)
+					continue
+				}
+				faultyC := mxm.ExtractC(g, mxm.Tile)
+				corr := mxm.Compare(d.goldenC, faultyC, mxm.Tile)
+				if corr.Count == 0 {
+					res.Tally.Add(faults.Masked, 0)
+					continue
+				}
+				res.Tally.Add(faults.SDC, corr.Count)
+				pat := corr.Classify()
+				res.Patterns[pat]++
+				finite := make([]float64, 0, len(corr.RelErrs))
+				for _, e := range corr.RelErrs {
+					if !math.IsInf(e, 0) && !math.IsNaN(e) {
+						finite = append(finite, e)
+					}
+				}
+				res.PatternErrs[pat] = append(res.PatternErrs[pat], finite...)
+			}
+			partials[w] = res
+		}(w)
+	}
+	wg.Wait()
+
+	out := &TMXMResult{Spec: spec, PatternErrs: make(map[faults.Pattern][]float64), GoldenCycles: draws[0].goldenCycles}
+	for _, p := range partials {
+		out.Tally.Merge(p.Tally)
+		for i, n := range p.Patterns {
+			out.Patterns[i] += n
+		}
+		for pat, errs := range p.PatternErrs {
+			out.PatternErrs[pat] = append(out.PatternErrs[pat], errs...)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,214 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// LogHist is a base-10 logarithmic histogram for relative errors, matching
+// the x-axis of Figs. 5, 6 and 9 of the paper: one bucket per decade from
+// 10^MinExp to 10^MaxExp, plus underflow and overflow buckets.
+type LogHist struct {
+	MinExp int      // lowest decade, e.g. -8 (bucket [1e-8, 1e-7))
+	MaxExp int      // highest decade, e.g. 2  (bucket [1e2, 1e3))
+	Counts []uint64 // len = MaxExp-MinExp+3: [under, decades..., over]
+	N      uint64   // total observations
+}
+
+// NewLogHist returns an empty histogram covering decades [minExp, maxExp].
+// The paper's figures use minExp=-8, maxExp=2.
+func NewLogHist(minExp, maxExp int) *LogHist {
+	if maxExp < minExp {
+		panic("stats: NewLogHist with maxExp < minExp")
+	}
+	return &LogHist{
+		MinExp: minExp,
+		MaxExp: maxExp,
+		Counts: make([]uint64, maxExp-minExp+3),
+	}
+}
+
+// PaperHist returns the histogram geometry used in Figs. 5 and 6
+// (relative errors from below 1e-8 to above 1e2).
+func PaperHist() *LogHist { return NewLogHist(-8, 2) }
+
+// Add records one observation. Positive finite values land in their decade
+// bucket; +Inf lands in overflow; zero, negative and NaN values land in
+// underflow.
+func (h *LogHist) Add(v float64) {
+	h.N++
+	switch {
+	case math.IsInf(v, 1):
+		h.Counts[len(h.Counts)-1]++
+		return
+	case v <= 0 || math.IsNaN(v):
+		h.Counts[0]++
+		return
+	}
+	e := int(math.Floor(math.Log10(v)))
+	switch {
+	case e < h.MinExp:
+		h.Counts[0]++
+	case e > h.MaxExp:
+		h.Counts[len(h.Counts)-1]++
+	default:
+		h.Counts[e-h.MinExp+1]++
+	}
+}
+
+// Merge adds the counts of other (same geometry) into h.
+func (h *LogHist) Merge(other *LogHist) error {
+	if other.MinExp != h.MinExp || other.MaxExp != h.MaxExp {
+		return fmt.Errorf("stats: merging histograms with different geometry")
+	}
+	for i, c := range other.Counts {
+		h.Counts[i] += c
+	}
+	h.N += other.N
+	return nil
+}
+
+// Fraction returns the share of observations in each bucket.
+func (h *LogHist) Fraction() []float64 {
+	out := make([]float64, len(h.Counts))
+	if h.N == 0 {
+		return out
+	}
+	for i, c := range h.Counts {
+		out[i] = float64(c) / float64(h.N)
+	}
+	return out
+}
+
+// BucketLabel names bucket i (0 = underflow, last = overflow).
+func (h *LogHist) BucketLabel(i int) string {
+	switch {
+	case i == 0:
+		return fmt.Sprintf("<1e%d", h.MinExp)
+	case i == len(h.Counts)-1:
+		return fmt.Sprintf(">=1e%d", h.MaxExp+1)
+	default:
+		return fmt.Sprintf("1e%d", h.MinExp+i-1)
+	}
+}
+
+// String renders the histogram as a fixed-width text row, used by the
+// benchmark harness to print Fig. 5/6-style series.
+func (h *LogHist) String() string {
+	var sb strings.Builder
+	fr := h.Fraction()
+	for i, f := range fr {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		fmt.Fprintf(&sb, "%s:%.3f", h.BucketLabel(i), f)
+	}
+	return sb.String()
+}
+
+// Mode returns the label of the most populated bucket, the paper's "clear
+// peak" observation in §V-C.
+func (h *LogHist) Mode() string {
+	best := 0
+	for i, c := range h.Counts {
+		if c > h.Counts[best] {
+			best = i
+		}
+	}
+	return h.BucketLabel(best)
+}
+
+// Summary holds order statistics of a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	Median float64
+	Var    float64 // unbiased sample variance
+	Min    float64
+	Max    float64
+	P10    float64
+	P90    float64
+}
+
+// Summarize computes order statistics. It returns a zero Summary for an
+// empty sample.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	var sum float64
+	for _, x := range s {
+		sum += x
+	}
+	mean := sum / float64(len(s))
+	var ss float64
+	for _, x := range s {
+		d := x - mean
+		ss += d * d
+	}
+	v := 0.0
+	if len(s) > 1 {
+		v = ss / float64(len(s)-1)
+	}
+	return Summary{
+		N:      len(s),
+		Mean:   mean,
+		Median: Quantile(s, 0.5),
+		Var:    v,
+		Min:    s[0],
+		Max:    s[len(s)-1],
+		P10:    Quantile(s, 0.1),
+		P90:    Quantile(s, 0.9),
+	}
+}
+
+// Quantile returns the q-quantile (0<=q<=1) of sorted data by linear
+// interpolation. It panics on empty input.
+func Quantile(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		panic("stats: Quantile of empty sample")
+	}
+	if n == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(n-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// WilsonCI returns the Wilson score interval for a binomial proportion at
+// the given z (1.96 for the paper's 95% confidence). successes > trials is
+// clamped.
+func WilsonCI(successes, trials int, z float64) (lo, hi float64) {
+	if trials == 0 {
+		return 0, 1
+	}
+	if successes > trials {
+		successes = trials
+	}
+	n := float64(trials)
+	p := float64(successes) / n
+	z2 := z * z
+	den := 1 + z2/n
+	center := (p + z2/(2*n)) / den
+	half := z / den * math.Sqrt(p*(1-p)/n+z2/(4*n*n))
+	lo = center - half
+	hi = center + half
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}

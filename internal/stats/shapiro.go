@@ -1,0 +1,163 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ShapiroWilk computes the Shapiro–Wilk W statistic and an approximate
+// p-value for the null hypothesis that xs is normally distributed, using
+// Royston's 1995 approximation (algorithm AS R94). The paper uses this
+// test to reject Gaussianity of fault syndromes: "all distributions have
+// a p-value smaller than 0.05 on the Shapiro-Wilk test" (§V-C).
+//
+// The sample size must be in [3, 5000].
+func ShapiroWilk(xs []float64) (w, pvalue float64, err error) {
+	n := len(xs)
+	if n < 3 {
+		return 0, 0, errors.New("stats: Shapiro-Wilk needs at least 3 observations")
+	}
+	if n > 5000 {
+		return 0, 0, errors.New("stats: Shapiro-Wilk approximation valid up to n=5000")
+	}
+	x := append([]float64(nil), xs...)
+	sort.Float64s(x)
+	if x[0] == x[n-1] {
+		return 0, 0, errors.New("stats: Shapiro-Wilk undefined for constant sample")
+	}
+
+	// Expected normal order statistics (Blom approximation).
+	m := make([]float64, n)
+	var ssq float64
+	for i := 0; i < n; i++ {
+		m[i] = NormQuantile((float64(i+1) - 0.375) / (float64(n) + 0.25))
+		ssq += m[i] * m[i]
+	}
+
+	// Weights with Royston's polynomial corrections for the extremes.
+	a := make([]float64, n)
+	rsn := 1 / math.Sqrt(float64(n))
+	c := func(i int) float64 { return m[i] / math.Sqrt(ssq) }
+	if n > 5 {
+		an := poly([]float64{-2.706056, 4.434685, -2.071190, -0.147981, 0.221157, 0}, rsn) + c(n-1)
+		an1 := poly([]float64{-3.582633, 5.682633, -1.752461, -0.293762, 0.042981, 0}, rsn) + c(n-2)
+		phi := (ssq - 2*m[n-1]*m[n-1] - 2*m[n-2]*m[n-2]) / (1 - 2*an*an - 2*an1*an1)
+		sp := math.Sqrt(phi)
+		a[n-1], a[0] = an, -an
+		a[n-2], a[1] = an1, -an1
+		for i := 2; i < n-2; i++ {
+			a[i] = m[i] / sp
+		}
+	} else {
+		an := poly([]float64{-2.706056, 4.434685, -2.071190, -0.147981, 0.221157, 0}, rsn) + c(n-1)
+		phi := (ssq - 2*m[n-1]*m[n-1]) / (1 - 2*an*an)
+		sp := math.Sqrt(phi)
+		a[n-1], a[0] = an, -an
+		for i := 1; i < n-1; i++ {
+			a[i] = m[i] / sp
+		}
+	}
+
+	// W statistic.
+	var mean float64
+	for _, v := range x {
+		mean += v
+	}
+	mean /= float64(n)
+	var num, den float64
+	for i, v := range x {
+		num += a[i] * v
+		d := v - mean
+		den += d * d
+	}
+	w = num * num / den
+	if w > 1 {
+		w = 1
+	}
+
+	// P-value via normalizing transformation.
+	switch {
+	case n == 3:
+		const stqr = math.Pi / 3
+		pvalue = 6 / math.Pi * (math.Asin(math.Sqrt(w)) - stqr)
+		if pvalue < 0 {
+			pvalue = 0
+		}
+		if pvalue > 1 {
+			pvalue = 1
+		}
+	case n <= 11:
+		fn := float64(n)
+		g := -2.273 + 0.459*fn
+		mu := 0.5440 - 0.39978*fn + 0.025054*fn*fn - 0.0006714*fn*fn*fn
+		sigma := math.Exp(1.3822 - 0.77857*fn + 0.062767*fn*fn - 0.0020322*fn*fn*fn)
+		z := (-math.Log(g-math.Log(1-w)) - mu) / sigma
+		pvalue = normUpper(z)
+	default:
+		ln := math.Log(float64(n))
+		mu := -1.5861 - 0.31082*ln - 0.083751*ln*ln + 0.0038915*ln*ln*ln
+		sigma := math.Exp(-0.4803 - 0.082676*ln + 0.0030302*ln*ln)
+		z := (math.Log(1-w) - mu) / sigma
+		pvalue = normUpper(z)
+	}
+	return w, pvalue, nil
+}
+
+// poly evaluates c[0]*x^(len-1) + ... + c[len-1] (descending powers).
+func poly(c []float64, x float64) float64 {
+	v := 0.0
+	for _, ci := range c {
+		v = v*x + ci
+	}
+	return v
+}
+
+// normUpper returns P(Z > z) for a standard normal Z.
+func normUpper(z float64) float64 { return 0.5 * math.Erfc(z/math.Sqrt2) }
+
+// NormCDF returns P(Z <= z) for a standard normal Z.
+func NormCDF(z float64) float64 { return 0.5 * math.Erfc(-z/math.Sqrt2) }
+
+// NormQuantile returns the inverse standard normal CDF at p in (0, 1),
+// using Acklam's rational approximation refined by one Halley step.
+func NormQuantile(p float64) float64 {
+	if p <= 0 {
+		return math.Inf(-1)
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	var (
+		ac = [6]float64{-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02,
+			1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00}
+		bc = [5]float64{-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02,
+			6.680131188771972e+01, -1.328068155288572e+01}
+		cc = [6]float64{-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00,
+			-2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00}
+		dc = [4]float64{7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00,
+			3.754408661907416e+00}
+	)
+	const pLow = 0.02425
+	var x float64
+	switch {
+	case p < pLow:
+		q := math.Sqrt(-2 * math.Log(p))
+		x = (((((cc[0]*q+cc[1])*q+cc[2])*q+cc[3])*q+cc[4])*q + cc[5]) /
+			((((dc[0]*q+dc[1])*q+dc[2])*q+dc[3])*q + 1)
+	case p <= 1-pLow:
+		q := p - 0.5
+		r := q * q
+		x = (((((ac[0]*r+ac[1])*r+ac[2])*r+ac[3])*r+ac[4])*r + ac[5]) * q /
+			(((((bc[0]*r+bc[1])*r+bc[2])*r+bc[3])*r+bc[4])*r + 1)
+	default:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		x = -(((((cc[0]*q+cc[1])*q+cc[2])*q+cc[3])*q+cc[4])*q + cc[5]) /
+			((((dc[0]*q+dc[1])*q+dc[2])*q+dc[3])*q + 1)
+	}
+	// One Halley refinement step.
+	e := NormCDF(x) - p
+	u := e * math.Sqrt(2*math.Pi) * math.Exp(x*x/2)
+	x -= u / (1 + x*u/2)
+	return x
+}

@@ -1,0 +1,203 @@
+package swfi
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+
+	"gpufi/internal/cnn"
+	"gpufi/internal/emu"
+	"gpufi/internal/faults"
+	"gpufi/internal/isa"
+	"gpufi/internal/stats"
+	"gpufi/internal/syndrome"
+)
+
+func defaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// CNNModel selects the CNN fault model: the instruction-level models, or
+// the t-MxM tile corruption of §IV-B/§VI.
+type CNNModel uint8
+
+// CNN fault models.
+const (
+	CNNBitFlip  CNNModel = iota // single bit-flip in one instruction output
+	CNNSyndrome                 // RTL relative-error syndrome, single thread
+	CNNTile                     // t-MxM tile corruption (multi-thread RTL model)
+)
+
+// String implements fmt.Stringer.
+func (m CNNModel) String() string {
+	switch m {
+	case CNNBitFlip:
+		return "single bit-flip"
+	case CNNSyndrome:
+		return "relative error"
+	case CNNTile:
+		return "t-MxM tile"
+	default:
+		return fmt.Sprintf("CNNModel(%d)", uint8(m))
+	}
+}
+
+// CNNCampaign describes a CNN injection campaign.
+type CNNCampaign struct {
+	Net        *cnn.Network
+	Input      []float32
+	Model      CNNModel
+	DB         *syndrome.DB // required by CNNSyndrome and CNNTile
+	Injections int
+	Seed       uint64
+	Workers    int
+
+	// Critical classifies an SDC as critical (misclassification or
+	// misdetection) by comparing golden and faulty outputs.
+	Critical func(golden, faulty []float32) bool
+}
+
+// CNNResult aggregates a CNN campaign, separating tolerable from critical
+// SDCs (§VI).
+type CNNResult struct {
+	Model       CNNModel
+	Tally       faults.Tally
+	CriticalSDC int
+	Profile     Counts
+}
+
+// PVF is the SDC program vulnerability factor.
+func (r *CNNResult) PVF() float64 { return r.Tally.AVFSDC() }
+
+// CriticalShare is the fraction of SDCs that change the network's
+// decision — the paper's 20% (LeNET) / 15% (YOLO) t-MxM finding.
+func (r *CNNResult) CriticalShare() float64 {
+	if s := r.Tally.SDCs(); s > 0 {
+		return float64(r.CriticalSDC) / float64(s)
+	}
+	return 0
+}
+
+// RunCNN executes a CNN injection campaign.
+func RunCNN(c CNNCampaign) (*CNNResult, error) {
+	if (c.Model == CNNSyndrome || c.Model == CNNTile) && c.DB == nil {
+		return nil, ErrNoDB
+	}
+	golden, err := c.Net.Run(c.Input, emu.Hooks{}, nil)
+	if err != nil {
+		return nil, fmt.Errorf("swfi: golden CNN run failed: %w", err)
+	}
+	var profile Counts
+	if _, err := c.Net.Run(c.Input, emu.Hooks{Post: func(ev *emu.Event) {
+		profile[ev.Instr.Op] += uint64(ev.ActiveCount())
+	}}, nil); err != nil {
+		return nil, err
+	}
+	injectable := profile.InjectableTotal()
+	if injectable == 0 {
+		return nil, fmt.Errorf("swfi: CNN executes no injectable instructions")
+	}
+
+	res := &CNNResult{Model: c.Model, Profile: profile}
+	workers := c.Workers
+	if workers <= 0 {
+		workers = defaultWorkers()
+	}
+	var crit int
+	res.Tally, crit = parallelInjectionsWithSide(c.Injections, workers, c.Seed,
+		func(r *stats.RNG) (faults.Outcome, bool) {
+			var out []float32
+			var err error
+			switch c.Model {
+			case CNNTile:
+				inj, ok := c.Net.RandomTileInjection(c.DB, r)
+				if !ok {
+					return faults.Masked, false // no characterisation: nothing injected
+				}
+				out, err = c.Net.Run(c.Input, emu.Hooks{}, inj)
+			default:
+				model := ModelBitFlip
+				if c.Model == CNNSyndrome {
+					model = ModelSyndrome
+				}
+				in := &injector{
+					target: r.Uint64() % injectable,
+					model:  model,
+					db:     c.DB,
+					rng:    r,
+				}
+				out, err = c.Net.Run(c.Input, emu.Hooks{Post: in.post}, nil)
+			}
+			switch {
+			case err != nil:
+				return faults.DUE, false
+			case !floatsEqual(golden, out):
+				critical := c.Critical != nil && c.Critical(golden, out)
+				return faults.SDC, critical
+			default:
+				return faults.Masked, false
+			}
+		})
+	res.CriticalSDC = crit
+	return res, nil
+}
+
+// parallelInjectionsWithSide is parallelInjections with a critical-SDC
+// counter.
+func parallelInjectionsWithSide(n, workers int, seed uint64,
+	one func(*stats.RNG) (faults.Outcome, bool)) (faults.Tally, int) {
+	partial := make([]faults.Tally, workers)
+	critPartial := make([]int, workers)
+	done := make(chan struct{}, workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			for i := w; i < n; i += workers {
+				r := stats.NewRNG(seed ^ 0xD1B54A32D192ED03*uint64(i+1))
+				o, crit := one(r)
+				partial[w].Add(o, 1)
+				if crit {
+					critPartial[w]++
+				}
+			}
+			done <- struct{}{}
+		}(w)
+	}
+	var out faults.Tally
+	crit := 0
+	for w := 0; w < workers; w++ {
+		<-done
+	}
+	for w := 0; w < workers; w++ {
+		out.Merge(partial[w])
+		crit += critPartial[w]
+	}
+	return out, crit
+}
+
+func floatsEqual(a, b []float32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float32bits(a[i]) != math.Float32bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// LeNetCritical is the misclassification criterion (argmax change).
+func LeNetCritical(golden, faulty []float32) bool {
+	return cnn.Classify(golden) != cnn.Classify(faulty)
+}
+
+// YoloCritical is the misdetection criterion (IoU-matched box sets).
+func YoloCritical(golden, faulty []float32) bool {
+	return cnn.Misdetection(cnn.DecodeDetections(golden), cnn.DecodeDetections(faulty))
+}
+
+// FigureProfile renders an application's Fig. 3 row: shares per category.
+func FigureProfile(name string, counts Counts) string {
+	sh := counts.CategoryShares()
+	return fmt.Sprintf("%-10s FP32=%.2f INT32=%.2f SFU=%.2f Control=%.2f Others=%.2f",
+		name,
+		sh[isa.CatFP32], sh[isa.CatINT32], sh[isa.CatSFU], sh[isa.CatControl], sh[isa.CatOther])
+}

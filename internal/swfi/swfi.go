@@ -1,0 +1,397 @@
+// Package swfi is the software-level fault injector — the analog of the
+// paper's modified NVBitFI (§IV-B). It instruments applications running on
+// the functional emulator at the instruction level: it profiles the
+// executed SASS opcodes (Fig. 3), picks a random dynamic instruction, and
+// corrupts its output either with the naive single/double bit-flip model
+// or with an RTL syndrome drawn from the fault-model database, then
+// classifies the run as Masked, SDC or DUE and accumulates the Program
+// Vulnerability Factor (Fig. 10 / Table III).
+package swfi
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"gpufi/internal/apps"
+	"gpufi/internal/emu"
+	"gpufi/internal/faults"
+	"gpufi/internal/isa"
+	"gpufi/internal/stats"
+	"gpufi/internal/syndrome"
+)
+
+// FaultModel selects the corruption applied to the selected instruction's
+// output value.
+type FaultModel uint8
+
+// Fault models.
+const (
+	ModelBitFlip       FaultModel = iota // single bit-flip (the naive baseline)
+	ModelDoubleBitFlip                   // double bit-flip
+	ModelSyndrome                        // RTL relative error via Eq. 1 (power law)
+	ModelSyndromeEmp                     // RTL relative error from the raw reservoir
+)
+
+// String implements fmt.Stringer.
+func (m FaultModel) String() string {
+	switch m {
+	case ModelBitFlip:
+		return "single bit-flip"
+	case ModelDoubleBitFlip:
+		return "double bit-flip"
+	case ModelSyndrome:
+		return "relative error (power law)"
+	case ModelSyndromeEmp:
+		return "relative error (empirical)"
+	default:
+		return fmt.Sprintf("FaultModel(%d)", uint8(m))
+	}
+}
+
+// NeedsDB reports whether the model draws from the syndrome database.
+func (m FaultModel) NeedsDB() bool { return m == ModelSyndrome || m == ModelSyndromeEmp }
+
+// Injectable reports whether the software injector corrupts outputs of
+// this opcode: the RTL-characterised instructions that produce a data
+// value (§VI: "we inject only in the 12 opcodes we characterize with RTL
+// fault injection"; BRA produces no register output and is therefore not
+// a software injection target).
+func Injectable(op isa.Opcode) bool {
+	return op.Characterized() && op != isa.OpBRA
+}
+
+// Profile executes the workload once and returns its dynamic thread-level
+// instruction histogram — the data behind Fig. 3.
+func Profile(w *apps.Workload) (Counts, error) {
+	var counts Counts
+	hooks := emu.Hooks{Post: func(ev *emu.Event) {
+		counts[ev.Instr.Op] += uint64(ev.ActiveCount())
+	}}
+	if _, err := w.Execute(hooks); err != nil {
+		return counts, err
+	}
+	return counts, nil
+}
+
+// Counts is a per-opcode dynamic instruction histogram.
+type Counts [isa.NumOpcodes]uint64
+
+// Total returns all counted thread-instructions.
+func (c Counts) Total() uint64 {
+	var t uint64
+	for _, v := range c {
+		t += v
+	}
+	return t
+}
+
+// InjectableTotal returns the thread-instructions eligible for injection.
+func (c Counts) InjectableTotal() uint64 {
+	var t uint64
+	for op, v := range c {
+		if Injectable(isa.Opcode(op)) {
+			t += v
+		}
+	}
+	return t
+}
+
+// CategoryShares buckets the histogram into the paper's Fig. 3 categories
+// (FP32, INT32, SFU, Control, Others) as fractions of the total.
+func (c Counts) CategoryShares() map[isa.Category]float64 {
+	totals := map[isa.Category]uint64{}
+	var all uint64
+	for op, v := range c {
+		totals[isa.Opcode(op).Category()] += v
+		all += v
+	}
+	out := map[isa.Category]float64{}
+	if all == 0 {
+		return out
+	}
+	for cat, v := range totals {
+		out[cat] = float64(v) / float64(all)
+	}
+	return out
+}
+
+// injector corrupts the output of the target-th injectable dynamic
+// thread-instruction.
+type injector struct {
+	target  uint64
+	counter uint64
+	fired   bool
+	model   FaultModel
+	db      *syndrome.DB
+	focus   *faults.Module // nil = module cocktail
+	rng     *stats.RNG
+
+	// record of what was injected, for reports
+	op      isa.Opcode
+	relErr  float64
+	oldBits uint32
+	newBits uint32
+}
+
+func (in *injector) post(ev *emu.Event) {
+	if in.fired || !Injectable(ev.Instr.Op) {
+		return
+	}
+	n := uint64(ev.ActiveCount())
+	if in.counter+n <= in.target {
+		in.counter += n
+		return
+	}
+	lane := ev.NthActiveLane(int(in.target - in.counter))
+	in.counter += n
+	in.fired = true
+	in.op = ev.Instr.Op
+	old, ok := ev.DstValue(lane)
+	if !ok {
+		return // defensive: Injectable ops all produce a value
+	}
+	in.oldBits = old
+
+	var corrupted uint32
+	switch in.model {
+	case ModelBitFlip:
+		corrupted = old ^ 1<<uint(in.rng.Intn(32))
+	case ModelDoubleBitFlip:
+		b1 := in.rng.Intn(32)
+		b2 := (b1 + 1 + in.rng.Intn(31)) % 32
+		corrupted = old ^ 1<<uint(b1) ^ 1<<uint(b2)
+	default:
+		rng := faults.ClassifyMagnitude(operandMagnitude(ev, lane))
+		mode := syndrome.SamplePowerLaw
+		if in.model == ModelSyndromeEmp {
+			mode = syndrome.SampleEmpirical
+		}
+		var rel float64
+		var found bool
+		if in.focus != nil {
+			rel, found = in.db.SampleFrom(ev.Instr.Op, rng, *in.focus, mode, in.rng)
+		} else {
+			rel, found = in.db.Sample(ev.Instr.Op, rng, mode, in.rng)
+		}
+		if !found {
+			rel = 1.0 // uncharacterised pool: the canonical 100% syndrome
+		}
+		in.relErr = rel
+		if ev.Instr.Op.IsFloat() {
+			corrupted = syndrome.ApplyRelErrF32(old, rel, in.rng.Bool())
+		} else {
+			corrupted = syndrome.ApplyRelErrI32(old, rel, in.rng.Bool())
+		}
+	}
+	in.newBits = corrupted
+	ev.CorruptDst(lane, corrupted)
+}
+
+// operandMagnitude estimates the instruction's input scale for syndrome
+// range selection (§V-A: inputs below the S bound take the S syndrome,
+// above the L bound the L syndrome, M otherwise). Memory operations use
+// the transferred value.
+func operandMagnitude(ev *emu.Event, lane int) float64 {
+	op := ev.Instr.Op
+	if op.IsMemory() {
+		v, _ := ev.DstValue(lane)
+		if op.IsFloat() {
+			return math.Abs(float64(math.Float32frombits(v)))
+		}
+		return math.Abs(float64(int32(v)))
+	}
+	mag := func(bits uint32) float64 {
+		if op.IsFloat() {
+			f := float64(math.Float32frombits(bits))
+			if math.IsNaN(f) || math.IsInf(f, 0) {
+				return 0
+			}
+			return math.Abs(f)
+		}
+		return math.Abs(float64(int32(bits)))
+	}
+	a := mag(ev.SrcA(lane))
+	if op.NumSrcs() >= 2 {
+		if b := mag(ev.SrcB(lane)); b > a {
+			a = b
+		}
+	}
+	return a
+}
+
+// Campaign describes one software injection campaign on an HPC workload.
+type Campaign struct {
+	Workload   *apps.Workload
+	Model      FaultModel
+	DB         *syndrome.DB // required by syndrome models
+	Injections int
+	Seed       uint64
+	Workers    int
+
+	// ModuleFocus restricts syndrome sampling to one module's pools
+	// instead of the cross-module cocktail — the paper's "focus the
+	// software fault injection in just one module" mode (§VI). Nil uses
+	// the cocktail.
+	ModuleFocus *faults.Module
+
+	// RecordInjections keeps one InjectionRecord per run in the result
+	// for auditing what was injected where.
+	RecordInjections bool
+
+	// Tolerance relaxes the SDC criterion: outputs are compared as
+	// float32 values with this relative tolerance instead of bitwise
+	// (the DESIGN.md §6 ablation; Rodinia-style golden compares use 0 =
+	// exact).
+	Tolerance float64
+}
+
+// InjectionRecord audits one injection run.
+type InjectionRecord struct {
+	Op      isa.Opcode
+	RelErr  float64 // 0 for bit-flip models
+	OldBits uint32
+	NewBits uint32
+	Outcome faults.Outcome
+}
+
+// Result aggregates one campaign.
+type Result struct {
+	Campaign   Campaign
+	Tally      faults.Tally
+	Profile    Counts
+	Injectable uint64
+	Records    []InjectionRecord // when Campaign.RecordInjections
+}
+
+// PVF is the SDC program vulnerability factor: the probability that a
+// fault which reached an ISA-visible state corrupts the program output.
+func (r *Result) PVF() float64 { return r.Tally.AVFSDC() }
+
+// PVFCI returns the 95% Wilson confidence interval of the PVF.
+func (r *Result) PVFCI() (lo, hi float64) {
+	return stats.WilsonCI(r.Tally.SDCs(), r.Tally.Injections, 1.96)
+}
+
+// ErrNoDB is returned when a syndrome model runs without a database.
+var ErrNoDB = errors.New("swfi: syndrome model requires a fault-model database")
+
+// Run executes the campaign: one golden run, one profiling run, then
+// Injections instrumented runs with one corrupted instruction each.
+func Run(c Campaign) (*Result, error) {
+	if c.Model.NeedsDB() && c.DB == nil {
+		return nil, ErrNoDB
+	}
+	golden, err := c.Workload.Execute(emu.Hooks{})
+	if err != nil {
+		return nil, fmt.Errorf("swfi: golden run of %s failed: %w", c.Workload.Name, err)
+	}
+	profile, err := Profile(c.Workload)
+	if err != nil {
+		return nil, err
+	}
+	injectable := profile.InjectableTotal()
+	if injectable == 0 {
+		return nil, fmt.Errorf("swfi: %s executes no injectable instructions", c.Workload.Name)
+	}
+
+	res := &Result{Campaign: c, Profile: profile, Injectable: injectable}
+	var records []InjectionRecord
+	if c.RecordInjections {
+		records = make([]InjectionRecord, c.Injections)
+	}
+	tallies := parallelInjectionsIdx(c.Injections, c.Workers, c.Seed, func(i int, r *stats.RNG) faults.Outcome {
+		in := &injector{
+			target: r.Uint64() % injectable,
+			model:  c.Model,
+			db:     c.DB,
+			focus:  c.ModuleFocus,
+			rng:    r,
+		}
+		out, err := c.Workload.Execute(emu.Hooks{Post: in.post})
+		var outcome faults.Outcome
+		switch {
+		case err != nil:
+			outcome = faults.DUE
+		case !outputsMatch(golden, out, c.Tolerance):
+			outcome = faults.SDC
+		default:
+			outcome = faults.Masked
+		}
+		if records != nil {
+			records[i] = InjectionRecord{
+				Op: in.op, RelErr: in.relErr,
+				OldBits: in.oldBits, NewBits: in.newBits,
+				Outcome: outcome,
+			}
+		}
+		return outcome
+	})
+	res.Tally = tallies
+	res.Records = records
+	return res, nil
+}
+
+// parallelInjectionsIdx fans the injection loop across workers with
+// deterministic per-injection RNG streams, passing the injection index.
+func parallelInjectionsIdx(n, workers int, seed uint64, one func(int, *stats.RNG) faults.Outcome) faults.Tally {
+	if workers <= 0 {
+		workers = defaultWorkers()
+	}
+	partial := make([]faults.Tally, workers)
+	done := make(chan int, workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			for i := w; i < n; i += workers {
+				r := stats.NewRNG(seed ^ 0x9E3779B97F4A7C15*uint64(i+1))
+				partial[w].Add(one(i, r), 1)
+			}
+			done <- w
+		}(w)
+	}
+	var out faults.Tally
+	for w := 0; w < workers; w++ {
+		<-done
+	}
+	for _, t := range partial {
+		out.Merge(t)
+	}
+	return out
+}
+
+func bitsEqual(a, b []uint32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// outputsMatch compares outputs bitwise (tol == 0) or as float32 values
+// within a relative tolerance.
+func outputsMatch(golden, out []uint32, tol float64) bool {
+	if tol == 0 {
+		return bitsEqual(golden, out)
+	}
+	if len(golden) != len(out) {
+		return false
+	}
+	for i := range golden {
+		if golden[i] == out[i] {
+			continue
+		}
+		g := float64(math.Float32frombits(golden[i]))
+		f := float64(math.Float32frombits(out[i]))
+		if math.IsNaN(g) || math.IsNaN(f) || math.IsInf(f, 0) {
+			return false
+		}
+		if math.Abs(f-g) > tol*(1+math.Abs(g)) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,59 @@
+package syndrome
+
+import "math"
+
+// ApplyRelErrF32 perturbs a float32 bit pattern by a relative error, the
+// paper's syndrome injection primitive: "the updated NVBitFI modifies the
+// instruction output value of a relative amount (e.g., if the syndrome is
+// 100%, NVBitFI multiplies by two the instruction output value)" (§IV-B).
+// A zero golden value takes the error as an absolute perturbation. neg
+// selects the perturbation direction.
+func ApplyRelErrF32(bits uint32, rel float64, neg bool) uint32 {
+	old := float64(math.Float32frombits(bits))
+	var d float64
+	switch {
+	case math.IsNaN(old) || math.IsInf(old, 0):
+		return bits // already broken; nothing meaningful to scale
+	case old == 0:
+		d = rel
+	default:
+		d = rel * math.Abs(old)
+	}
+	if neg {
+		d = -d
+	}
+	out := math.Float32bits(float32(old + d))
+	if out == bits {
+		// The sampled relative error is below the value's ULP. The
+		// syndrome database records *observed* corruptions, so applying
+		// one must corrupt: nudge the mantissa LSB (the smallest visible
+		// effect the RTL fault could have had on this value).
+		out ^= 1
+	}
+	return out
+}
+
+// ApplyRelErrI32 is the signed-integer variant: the output changes by
+// round(|v|*rel), at least 1, saturating on overflow.
+func ApplyRelErrI32(bits uint32, rel float64, neg bool) uint32 {
+	old := int64(int32(bits))
+	mag := math.Abs(float64(old)) * rel
+	if old == 0 {
+		mag = rel
+	}
+	d := int64(math.Round(mag))
+	if d == 0 {
+		d = 1 // the fault did corrupt the value; force a visible change
+	}
+	if neg {
+		d = -d
+	}
+	v := old + d
+	if v > math.MaxInt32 {
+		v = math.MaxInt32
+	}
+	if v < math.MinInt32 {
+		v = math.MinInt32
+	}
+	return uint32(int32(v))
+}

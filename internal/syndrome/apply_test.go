@@ -1,0 +1,134 @@
+package syndrome
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"gpufi/internal/faults"
+	"gpufi/internal/isa"
+	"gpufi/internal/stats"
+)
+
+func TestApplyRelErrF32AlwaysCorrupts(t *testing.T) {
+	// A syndrome represents an observed corruption: applying one must
+	// change the bit pattern (for any finite value and positive error).
+	f := func(bitsRaw uint32, relRaw uint16, neg bool) bool {
+		bits := bitsRaw
+		v := math.Float32frombits(bits)
+		if v != v || math.IsInf(float64(v), 0) {
+			return ApplyRelErrF32(bits, 0.5, neg) == bits // pass-through
+		}
+		rel := math.Pow(10, float64(relRaw%12)-9) // 1e-9 .. 1e2
+		return ApplyRelErrF32(bits, rel, neg) != bits
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestApplyRelErrF32Magnitude(t *testing.T) {
+	// rel = 1.0 (the paper's "100%" example) doubles or zeroes the value.
+	bits := math.Float32bits(8)
+	if got := math.Float32frombits(ApplyRelErrF32(bits, 1.0, false)); got != 16 {
+		t.Errorf("100%% positive on 8 = %v, want 16", got)
+	}
+	if got := math.Float32frombits(ApplyRelErrF32(bits, 1.0, true)); got != 0 {
+		t.Errorf("100%% negative on 8 = %v, want 0", got)
+	}
+	// Zero golden takes the error as absolute.
+	if got := math.Float32frombits(ApplyRelErrF32(0, 0.25, false)); got != 0.25 {
+		t.Errorf("zero golden = %v, want 0.25", got)
+	}
+}
+
+func TestApplyRelErrF32SubUlpNudges(t *testing.T) {
+	bits := math.Float32bits(1000)
+	out := ApplyRelErrF32(bits, 1e-12, false) // far below ULP
+	if out == bits {
+		t.Fatal("sub-ULP syndrome produced no corruption")
+	}
+	if out != bits^1 {
+		t.Errorf("sub-ULP nudge = %#x, want LSB flip of %#x", out, bits)
+	}
+}
+
+func TestApplyRelErrI32(t *testing.T) {
+	if got := int32(ApplyRelErrI32(uint32(int32(100)), 0.5, false)); got != 150 {
+		t.Errorf("+50%% of 100 = %d, want 150", got)
+	}
+	if got := int32(ApplyRelErrI32(uint32(int32(100)), 0.5, true)); got != 50 {
+		t.Errorf("-50%% of 100 = %d, want 50", got)
+	}
+	// Minimum visible change of 1.
+	if got := int32(ApplyRelErrI32(uint32(int32(100)), 1e-9, false)); got != 101 {
+		t.Errorf("tiny rel = %d, want 101", got)
+	}
+	// Saturation.
+	if got := int32(ApplyRelErrI32(uint32(int32(2000000000)), 100, false)); got != math.MaxInt32 {
+		t.Errorf("overflow = %d, want MaxInt32", got)
+	}
+	negBig := int32(-2000000000)
+	if got := int32(ApplyRelErrI32(uint32(negBig), 100, true)); got != math.MinInt32 {
+		t.Errorf("underflow = %d, want MinInt32", got)
+	}
+	// Zero golden: absolute, at least 1.
+	if got := int32(ApplyRelErrI32(0, 3.6, false)); got != 4 {
+		t.Errorf("zero golden = %d, want 4", got)
+	}
+}
+
+func TestApplyRelErrI32AlwaysCorrupts(t *testing.T) {
+	f := func(v int32, relRaw uint16, neg bool) bool {
+		rel := math.Pow(10, float64(relRaw%10)-7)
+		return int32(ApplyRelErrI32(uint32(v), rel, neg)) != v ||
+			// saturation at the extremes may clamp back onto v
+			v == math.MaxInt32 || v == math.MinInt32
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSampleFromModuleFocus(t *testing.T) {
+	db := New()
+	db.AddMicro(fakeMicroResult(opFADD(), rangeM(), modFP32(), 1))
+	r := stats.NewRNG(2)
+	if _, ok := db.SampleFrom(opFADD(), rangeM(), modFP32(), SamplePowerLaw, r); !ok {
+		t.Error("exact module pool not found")
+	}
+	// Range fallback within the module.
+	if _, ok := db.SampleFrom(opFADD(), rangeS(), modFP32(), SamplePowerLaw, r); !ok {
+		t.Error("range fallback failed")
+	}
+	// Different module: no pool.
+	if _, ok := db.SampleFrom(opFADD(), rangeM(), modSched(), SamplePowerLaw, r); ok {
+		t.Error("foreign module must not sample")
+	}
+}
+
+func TestPowerLawSamplerTruncation(t *testing.T) {
+	db := New()
+	e := db.AddMicro(fakeMicroResult(opFADD(), rangeM(), modFP32(), 9))
+	// Force a pathological flat fit whose unbounded tail would explode.
+	alpha := 1.01
+	e.Fit.Alpha = alpha
+	e.Fit.Xmin = 1e-6
+	r := stats.NewRNG(3)
+	for i := 0; i < 5000; i++ {
+		v, ok := db.Sample(opFADD(), rangeM(), SamplePowerLaw, r)
+		if !ok {
+			t.Fatal("no sample")
+		}
+		if v > MaxRelErr {
+			t.Fatalf("sample %v above the truncation bound", v)
+		}
+	}
+}
+
+// Small helpers avoiding repeated imports in table tests.
+func opFADD() isa.Opcode        { return isa.OpFADD }
+func rangeM() faults.InputRange { return faults.RangeMedium }
+func rangeS() faults.InputRange { return faults.RangeSmall }
+func modFP32() faults.Module    { return faults.ModFP32 }
+func modSched() faults.Module   { return faults.ModSched }

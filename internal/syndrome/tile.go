@@ -1,0 +1,158 @@
+package syndrome
+
+import (
+	"gpufi/internal/faults"
+	"gpufi/internal/mxm"
+	"gpufi/internal/stats"
+)
+
+// TileCorruption is one sampled t-MxM fault effect: which elements of an
+// 8x8 tile are corrupted and the relative error to apply to each (§V-D:
+// "we use Equation 1 to select the range of the relative errors for all
+// the elements to corrupt; in this range, we again select a power law
+// distribution for the corruption of the individual output elements").
+type TileCorruption struct {
+	Pattern faults.Pattern
+	Mask    [mxm.Tile * mxm.Tile]bool
+	RelErr  [mxm.Tile * mxm.Tile]float64
+}
+
+// Count returns the number of corrupted elements.
+func (t *TileCorruption) Count() int {
+	n := 0
+	for _, b := range t.Mask {
+		if b {
+			n++
+		}
+	}
+	return n
+}
+
+// SampleTile draws one tile corruption from the pooled t-MxM entries
+// (scheduler and pipeline, weighted by SDC counts). ok is false when the
+// database holds no t-MxM characterisation.
+func (db *DB) SampleTile(r *stats.RNG) (TileCorruption, bool) {
+	var pool []*TMXMEntry
+	total := 0
+	for _, e := range db.TMXM {
+		if e.Tally.SDCs() > 0 {
+			pool = append(pool, e)
+			total += e.Tally.SDCs()
+		}
+	}
+	if total == 0 {
+		return TileCorruption{}, false
+	}
+	// Deterministic order: sort by (module, kind) via fixed enumeration.
+	var ordered []*TMXMEntry
+	for _, mod := range faults.AllModules() {
+		for _, kind := range mxm.AllTileKinds() {
+			for _, e := range pool {
+				if e.Module == mod && e.Kind == kind {
+					ordered = append(ordered, e)
+				}
+			}
+		}
+	}
+	pick := r.Intn(total)
+	var e *TMXMEntry
+	for _, cand := range ordered {
+		pick -= cand.Tally.SDCs()
+		if pick < 0 {
+			e = cand
+			break
+		}
+	}
+	return e.sampleTile(r), true
+}
+
+// sampleTile draws a corruption from one campaign entry.
+func (e *TMXMEntry) sampleTile(r *stats.RNG) TileCorruption {
+	// Pick a pattern proportionally to its observed frequency.
+	total := 0
+	for _, n := range e.Patterns {
+		total += n
+	}
+	pick := r.Intn(total)
+	pat := faults.PatSingle
+	for p, n := range e.Patterns {
+		pick -= n
+		if pick < 0 {
+			pat = faults.Pattern(p)
+			break
+		}
+	}
+	out := TileCorruption{Pattern: pat}
+	out.fillMask(pat, r)
+
+	// Per-element relative errors: Eq. 1 over the pattern's fitted power
+	// law (falling back to the raw samples).
+	fit, hasFit := e.PatternFits[pat]
+	samples := e.PatternSamples[pat]
+	for i, bad := range out.Mask {
+		if !bad {
+			continue
+		}
+		switch {
+		case hasFit:
+			out.RelErr[i] = fit.Sample(r)
+			if out.RelErr[i] > MaxRelErr {
+				out.RelErr[i] = MaxRelErr
+			}
+		case len(samples) > 0:
+			out.RelErr[i] = samples[r.Intn(len(samples))]
+		default:
+			out.RelErr[i] = 1.0
+		}
+	}
+	return out
+}
+
+// fillMask generates the element geometry of a pattern (Fig. 8: neither
+// the position nor the block size are fixed).
+func (t *TileCorruption) fillMask(pat faults.Pattern, r *stats.RNG) {
+	const n = mxm.Tile
+	set := func(row, col int) { t.Mask[row*n+col] = true }
+	switch pat {
+	case faults.PatSingle:
+		set(r.Intn(n), r.Intn(n))
+	case faults.PatRow:
+		row := r.Intn(n)
+		count := 2 + r.Intn(n-1)
+		for _, c := range r.Perm(n)[:count] {
+			set(row, c)
+		}
+	case faults.PatCol:
+		col := r.Intn(n)
+		count := 2 + r.Intn(n-1)
+		for _, rw := range r.Perm(n)[:count] {
+			set(rw, col)
+		}
+	case faults.PatRowCol:
+		row, col := r.Intn(n), r.Intn(n)
+		for c := 0; c < n; c++ {
+			set(row, c)
+		}
+		for rw := 0; rw < n; rw++ {
+			set(rw, col)
+		}
+	case faults.PatBlock:
+		h := 2 + r.Intn(n/2)
+		w := 2 + r.Intn(n/2)
+		r0, c0 := r.Intn(n-h+1), r.Intn(n-w+1)
+		for dr := 0; dr < h; dr++ {
+			for dc := 0; dc < w; dc++ {
+				set(r0+dr, c0+dc)
+			}
+		}
+	case faults.PatAll:
+		for i := range t.Mask {
+			t.Mask[i] = true
+		}
+	default: // random scatter
+		count := 3 + r.Intn(n)
+		for _, i := range r.Perm(n * n)[:count] {
+			t.Mask[i] = true
+		}
+	}
+}
