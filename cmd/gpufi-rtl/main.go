@@ -9,13 +9,20 @@
 //
 // Without -op the full characterisation runs: every characterised opcode x
 // input range x exercised module, plus the t-MxM campaigns.
+//
+// SIGINT cancels the campaign at the next fault boundary and prints how
+// far it got; no partial database is written.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"sync/atomic"
+	"syscall"
 
 	"gpufi"
 	"gpufi/internal/faults"
@@ -41,19 +48,31 @@ func main() {
 	detailedPath = flag.String("detailed", "", "write the single-campaign detailed report (CSV) to this path")
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	if *opName != "" {
-		runSingle(*opName, *rngName, *modName, *nFaults, *seed)
+		runSingle(ctx, *opName, *rngName, *modName, *nFaults, *seed)
 		return
 	}
 
+	var done, total atomic.Int64
 	cfg := gpufi.CharacterizeConfig{
 		FaultsPerCampaign: *nFaults,
 		TMXMFaults:        *nTMXM,
 		Seed:              *seed,
+		Progress: func(d, t int) {
+			progressMax(&done, int64(d))
+			total.Store(int64(t))
+		},
 	}
 	log.Printf("running full RTL characterisation (%d faults/campaign)...", *nFaults)
-	char, err := gpufi.Characterize(cfg)
+	char, err := gpufi.CharacterizeCtx(ctx, cfg)
 	if err != nil {
+		if ctx.Err() != nil {
+			log.Fatalf("interrupted after %d/%d faults; nothing written (campaigns are deterministic, re-run to reproduce)",
+				done.Load(), total.Load())
+		}
 		log.Fatal(err)
 	}
 	if *verbose {
@@ -72,9 +91,20 @@ func main() {
 	log.Printf("wrote %s (%d entries, %d t-MxM pools)", *out, len(char.DB.Entries), len(char.DB.TMXM))
 }
 
+// progressMax raises *v to at least n (progress callbacks may arrive out
+// of order across engine workers).
+func progressMax(v *atomic.Int64, n int64) {
+	for {
+		cur := v.Load()
+		if n <= cur || v.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
 // runSingle characterises one (op, range, module) pool and prints its
 // detailed statistics.
-func runSingle(opName, rngName, modName string, nFaults int, seed uint64) {
+func runSingle(ctx context.Context, opName, rngName, modName string, nFaults int, seed uint64) {
 	op, ok := parseOp(opName)
 	if !ok {
 		log.Fatalf("unknown opcode %q", opName)
@@ -87,10 +117,15 @@ func runSingle(opName, rngName, modName string, nFaults int, seed uint64) {
 	if !ok {
 		log.Fatalf("unknown module %q", modName)
 	}
-	res, err := rtlfi.RunMicro(rtlfi.Spec{
+	var done atomic.Int64
+	res, err := rtlfi.RunMicroCtx(ctx, rtlfi.Spec{
 		Op: op, Range: rng, Module: mod, NumFaults: nFaults, Seed: seed,
+		Progress: func(d, t int) { progressMax(&done, int64(d)) },
 	})
 	if err != nil {
+		if ctx.Err() != nil {
+			log.Fatalf("interrupted after %d/%d faults; nothing written", done.Load(), nFaults)
+		}
 		log.Fatal(err)
 	}
 	if err := res.WriteGeneralReport(os.Stderr); err != nil {

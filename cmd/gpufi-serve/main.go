@@ -1,0 +1,85 @@
+// Command gpufi-serve exposes the campaign job service over HTTP: submit
+// RTL-characterisation, HPC-injection and CNN-injection campaigns as
+// queued jobs, watch their progress, cancel them, and let interrupted
+// jobs resume deterministically from their checkpoint journal after a
+// restart.
+//
+// Usage:
+//
+//	gpufi-serve [-addr :8080] [-dir data/jobs] [-jobs N]
+//	            [-engine-workers N] [-checkpoint 2s]
+//
+// API:
+//
+//	POST   /jobs             submit a campaign (see internal/jobs.Request)
+//	GET    /jobs             list jobs
+//	GET    /jobs/{id}        status + result
+//	GET    /jobs/{id}/events server-sent progress events
+//	DELETE /jobs/{id}        cancel
+//	GET    /healthz          liveness
+//
+// SIGINT/SIGTERM shut down gracefully: in-flight jobs checkpoint and are
+// re-queued on the next start, resuming bit-identically.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"gpufi/internal/jobs"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("gpufi-serve: ")
+
+	var (
+		addr          = flag.String("addr", ":8080", "HTTP listen address")
+		dir           = flag.String("dir", "data/jobs", "checkpoint journal directory (empty disables persistence)")
+		nJobs         = flag.Int("jobs", runtime.NumCPU(), "concurrent job slots")
+		engineWorkers = flag.Int("engine-workers", 1, "workers per campaign engine")
+		checkpoint    = flag.Duration("checkpoint", 2*time.Second, "progress checkpoint interval")
+	)
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	svc, err := jobs.New(jobs.Config{
+		Dir:             *dir,
+		Workers:         *nJobs,
+		EngineWorkers:   *engineWorkers,
+		CheckpointEvery: *checkpoint,
+		Logf:            log.Printf,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: svc.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	log.Printf("listening on %s (%d job slots, journal %q)", *addr, *nJobs, *dir)
+
+	select {
+	case err := <-errCh:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	log.Printf("signal received; draining connections and checkpointing jobs...")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("http shutdown: %v", err)
+	}
+	svc.Close()
+	log.Printf("stopped; unfinished jobs will resume on the next start")
+}

@@ -9,12 +9,20 @@
 //	         [-n 1000] [-seed S]
 //
 // Without -app, all six HPC applications run under the chosen model.
+//
+// SIGINT cancels the campaign at the next injection boundary and prints
+// how many injections completed before the interrupt.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
+	"sync/atomic"
+	"syscall"
 
 	"gpufi"
 	"gpufi/internal/swfi"
@@ -33,6 +41,9 @@ func main() {
 	)
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	var db *gpufi.DB
 	if *dbPath != "" {
 		var err error
@@ -43,7 +54,7 @@ func main() {
 
 	switch *appName {
 	case "LeNet", "Yolo":
-		runCNN(*appName, *model, db, *n, *seed)
+		runCNN(ctx, *appName, *model, db, *n, *seed)
 		return
 	}
 
@@ -67,10 +78,16 @@ func main() {
 	}
 
 	for _, w := range workloads {
-		res, err := gpufi.RunCampaign(gpufi.Campaign{
+		var done atomic.Int64
+		res, err := gpufi.RunCampaignCtx(ctx, gpufi.Campaign{
 			Workload: w, Model: fm, DB: db, Injections: *n, Seed: *seed,
+			Progress: func(d, t int) { progressMax(&done, int64(d)) },
 		})
 		if err != nil {
+			if ctx.Err() != nil {
+				log.Fatalf("%s: interrupted after %d/%d injections (campaigns are deterministic, re-run to reproduce)",
+					w.Name, done.Load(), *n)
+			}
 			log.Fatal(err)
 		}
 		lo, hi := res.PVFCI()
@@ -80,7 +97,18 @@ func main() {
 	}
 }
 
-func runCNN(name, model string, db *gpufi.DB, n int, seed uint64) {
+// progressMax raises *v to at least n (progress callbacks may arrive out
+// of order across engine workers).
+func progressMax(v *atomic.Int64, n int64) {
+	for {
+		cur := v.Load()
+		if n <= cur || v.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+func runCNN(ctx context.Context, name, model string, db *gpufi.DB, n int, seed uint64) {
 	var (
 		net      *gpufi.Network
 		input    []float32
@@ -105,11 +133,17 @@ func runCNN(name, model string, db *gpufi.DB, n int, seed uint64) {
 	if cm != swfi.CNNBitFlip && db == nil {
 		log.Fatal("-db is required for syndrome/tile CNN models")
 	}
-	res, err := gpufi.RunCNNCampaign(gpufi.CNNCampaign{
+	var done atomic.Int64
+	res, err := gpufi.RunCNNCampaignCtx(ctx, gpufi.CNNCampaign{
 		Net: net, Input: input, Model: cm, DB: db,
 		Injections: n, Seed: seed, Critical: critical,
+		Progress: func(d, t int) { progressMax(&done, int64(d)) },
 	})
 	if err != nil {
+		if ctx.Err() != nil {
+			log.Fatalf("%s: interrupted after %d/%d injections (campaigns are deterministic, re-run to reproduce)",
+				name, done.Load(), n)
+		}
 		log.Fatal(err)
 	}
 	t := res.Tally

@@ -35,8 +35,11 @@
 package gpufi
 
 import (
+	"context"
 	"encoding/json"
+	"fmt"
 	"os"
+	"path/filepath"
 
 	"gpufi/internal/apps"
 	"gpufi/internal/cnn"
@@ -103,10 +106,24 @@ func Characterize(cfg CharacterizeConfig) (*Characterization, error) {
 	return core.Characterize(cfg)
 }
 
+// CharacterizeCtx is Characterize with cancellation and fault-level
+// progress reporting via cfg.Progress. Campaign unit seeds are derived at
+// planning time, so a cancelled characterisation re-run with the same
+// configuration reproduces its campaigns bit-identically.
+func CharacterizeCtx(ctx context.Context, cfg CharacterizeConfig) (*Characterization, error) {
+	return core.CharacterizeCtx(ctx, cfg)
+}
+
 // EvaluateHPC measures the PVF of the workloads under both the bit-flip
 // and the syndrome fault model (Fig. 10 / Table III).
 func EvaluateHPC(db *DB, workloads []*Workload, cfg EvalConfig) ([]*AppEvaluation, error) {
 	return core.EvaluateHPC(db, workloads, cfg)
+}
+
+// EvaluateHPCCtx is EvaluateHPC with cancellation and injection-level
+// progress reporting via cfg.Progress.
+func EvaluateHPCCtx(ctx context.Context, db *DB, workloads []*Workload, cfg EvalConfig) ([]*AppEvaluation, error) {
+	return core.EvaluateHPCCtx(ctx, db, workloads, cfg)
 }
 
 // EvaluateCNN measures a network's PVF under bit-flip, syndrome and t-MxM
@@ -116,11 +133,30 @@ func EvaluateCNN(db *DB, name string, net *Network, input []float32,
 	return core.EvaluateCNN(db, name, net, input, critical, cfg)
 }
 
+// EvaluateCNNCtx is EvaluateCNN with cancellation and injection-level
+// progress reporting via cfg.Progress.
+func EvaluateCNNCtx(ctx context.Context, db *DB, name string, net *Network, input []float32,
+	critical func(a, b []float32) bool, cfg EvalConfig) (*CNNEvaluation, error) {
+	return core.EvaluateCNNCtx(ctx, db, name, net, input, critical, cfg)
+}
+
 // RunCampaign executes one software injection campaign.
 func RunCampaign(c Campaign) (*CampaignResult, error) { return swfi.Run(c) }
 
+// RunCampaignCtx is RunCampaign with cancellation at injection boundaries
+// and progress reporting via c.Progress.
+func RunCampaignCtx(ctx context.Context, c Campaign) (*CampaignResult, error) {
+	return swfi.RunCtx(ctx, c)
+}
+
 // RunCNNCampaign executes one CNN injection campaign.
 func RunCNNCampaign(c CNNCampaign) (*CNNResult, error) { return swfi.RunCNN(c) }
+
+// RunCNNCampaignCtx is RunCNNCampaign with cancellation at injection
+// boundaries and progress reporting via c.Progress.
+func RunCNNCampaignCtx(ctx context.Context, c CNNCampaign) (*CNNResult, error) {
+	return swfi.RunCNNCtx(ctx, c)
+}
 
 // Profile returns a workload's dynamic instruction histogram (Fig. 3).
 func Profile(w *Workload) (Counts, error) { return swfi.Profile(w) }
@@ -156,13 +192,48 @@ var (
 )
 
 // SaveDB writes a syndrome database to a JSON file, the framework's
-// publishable artefact (the paper's repository [23]).
+// publishable artefact (the paper's repository [23]). The write is
+// atomic — the blob lands in a temp file in the target directory and is
+// renamed over the destination — so a crashed or cancelled campaign can
+// never leave a torn database behind.
 func SaveDB(db *DB, path string) error {
 	blob, err := json.MarshalIndent(db, "", " ")
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, blob, 0o644)
+	return atomicWriteFile(path, blob, 0o644)
+}
+
+// atomicWriteFile writes data to a temp file in path's directory and
+// renames it over path.
+func atomicWriteFile(path string, data []byte, perm os.FileMode) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if tmp != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if _, err := tmp.Write(data); err != nil {
+		return err
+	}
+	if err := tmp.Chmod(perm); err != nil {
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	name := tmp.Name()
+	tmp = nil // disarm cleanup; only the rename below can fail now
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+		return err
+	}
+	return nil
 }
 
 // LoadDB reads a syndrome database from a JSON file.
@@ -171,9 +242,12 @@ func LoadDB(path string) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
+	if len(blob) == 0 {
+		return nil, fmt.Errorf("gpufi: syndrome database %s is empty (truncated write? re-run the RTL characterisation)", path)
+	}
 	db := syndrome.New()
 	if err := json.Unmarshal(blob, db); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("gpufi: syndrome database %s is truncated or corrupt: %w", path, err)
 	}
 	return db, nil
 }

@@ -9,6 +9,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -32,6 +33,12 @@ type CharacterizeConfig struct {
 	Workers           int
 	Ops               []isa.Opcode        // default: the 12 characterised opcodes
 	Ranges            []faults.InputRange // default: S, M, L
+	SkipTMXM          bool                // skip the t-MxM campaigns (micro-benchmarks only)
+
+	// Progress, when non-nil, receives fault-level progress aggregated
+	// over the whole characterisation plan. It may be called concurrently
+	// and done values may arrive out of order; keep a running maximum.
+	Progress func(done, total int)
 }
 
 func (c *CharacterizeConfig) defaults() {
@@ -57,13 +64,43 @@ type Characterization struct {
 	TMXM  []*rtlfi.TMXMResult
 }
 
-// Characterize runs the complete RTL fault-injection phase: for every
-// characterised opcode, input range and exercised module, one
-// micro-benchmark campaign; plus t-MxM campaigns on the scheduler and
-// pipeline for the three tile kinds (§V).
-func Characterize(cfg CharacterizeConfig) (*Characterization, error) {
+// UnitKind distinguishes the two campaign families of the RTL phase.
+type UnitKind uint8
+
+// Characterisation unit kinds.
+const (
+	UnitMicro UnitKind = iota // one (opcode, range, module) micro-benchmark campaign
+	UnitTMXM                  // one (module, tile kind) t-MxM campaign
+)
+
+// Unit is one independently schedulable campaign of the characterisation
+// plan. Its Seed is fixed at planning time, so units can be executed in
+// any order — or skipped and re-run after an interruption — and still
+// reproduce exactly the campaign an uninterrupted Characterize would run.
+type Unit struct {
+	Kind   UnitKind
+	Op     isa.Opcode        // UnitMicro only
+	Range  faults.InputRange // UnitMicro only
+	Module faults.Module
+	Tile   mxm.TileKind // UnitTMXM only
+	Faults int
+	Seed   uint64
+}
+
+// Name returns the unit's stable identifier, used as the checkpoint key
+// by resumable campaign jobs.
+func (u Unit) Name() string {
+	if u.Kind == UnitTMXM {
+		return fmt.Sprintf("tmxm/%s/%s", u.Module, u.Tile)
+	}
+	return fmt.Sprintf("micro/%s/%s/%s", u.Op, u.Range, u.Module)
+}
+
+// Plan expands a configuration into the ordered list of campaign units
+// Characterize would run, each with its derived seed.
+func Plan(cfg CharacterizeConfig) []Unit {
 	cfg.defaults()
-	out := &Characterization{DB: syndrome.New()}
+	var units []Unit
 	seed := cfg.Seed
 	for _, op := range cfg.Ops {
 		for _, rng := range cfg.Ranges {
@@ -72,33 +109,116 @@ func Characterize(cfg CharacterizeConfig) (*Characterization, error) {
 					continue
 				}
 				seed++
-				res, err := rtlfi.RunMicro(rtlfi.Spec{
-					Op: op, Range: rng, Module: mod,
-					NumFaults: cfg.FaultsPerCampaign,
-					Seed:      seed, Workers: cfg.Workers,
+				units = append(units, Unit{
+					Kind: UnitMicro, Op: op, Range: rng, Module: mod,
+					Faults: cfg.FaultsPerCampaign, Seed: seed,
 				})
-				if err != nil {
-					return nil, fmt.Errorf("core: %s/%s/%s: %w", op, rng, mod, err)
-				}
-				out.Micro = append(out.Micro, res)
-				out.DB.AddMicro(res)
 			}
 		}
+	}
+	if cfg.SkipTMXM {
+		return units
 	}
 	for _, mod := range []faults.Module{faults.ModSched, faults.ModPipe} {
 		for _, kind := range mxm.AllTileKinds() {
 			seed++
-			res, err := rtlfi.RunTMXM(rtlfi.TMXMSpec{
-				Module: mod, Kind: kind,
-				NumFaults: cfg.TMXMFaults,
-				Seed:      seed, Workers: cfg.Workers,
+			units = append(units, Unit{
+				Kind: UnitTMXM, Module: mod, Tile: kind,
+				Faults: cfg.TMXMFaults, Seed: seed,
 			})
-			if err != nil {
-				return nil, fmt.Errorf("core: t-MxM %s/%s: %w", mod, kind, err)
-			}
-			out.TMXM = append(out.TMXM, res)
-			out.DB.AddTMXM(res)
 		}
+	}
+	return units
+}
+
+// UnitResult is the outcome of one executed plan unit; exactly one of
+// Micro and TMXM is set, matching Unit.Kind.
+type UnitResult struct {
+	Unit  Unit
+	Micro *rtlfi.Result
+	TMXM  *rtlfi.TMXMResult
+}
+
+// Tally returns the unit's outcome tally regardless of kind.
+func (r *UnitResult) Tally() faults.Tally {
+	if r.Micro != nil {
+		return r.Micro.Tally
+	}
+	return r.TMXM.Tally
+}
+
+// RunUnit executes one plan unit with cancellation and fault-level
+// progress reporting.
+func RunUnit(ctx context.Context, u Unit, workers int, progress func(done, total int)) (*UnitResult, error) {
+	switch u.Kind {
+	case UnitMicro:
+		res, err := rtlfi.RunMicroCtx(ctx, rtlfi.Spec{
+			Op: u.Op, Range: u.Range, Module: u.Module,
+			NumFaults: u.Faults, Seed: u.Seed, Workers: workers,
+			Progress: progress,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &UnitResult{Unit: u, Micro: res}, nil
+	case UnitTMXM:
+		res, err := rtlfi.RunTMXMCtx(ctx, rtlfi.TMXMSpec{
+			Module: u.Module, Kind: u.Tile,
+			NumFaults: u.Faults, Seed: u.Seed, Workers: workers,
+			Progress: progress,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &UnitResult{Unit: u, TMXM: res}, nil
+	default:
+		return nil, fmt.Errorf("core: unknown unit kind %d", u.Kind)
+	}
+}
+
+// AddUnit ingests one completed plan unit into the characterisation and
+// its syndrome database.
+func (c *Characterization) AddUnit(res *UnitResult) {
+	if res.Micro != nil {
+		c.Micro = append(c.Micro, res.Micro)
+		c.DB.AddMicro(res.Micro)
+		return
+	}
+	c.TMXM = append(c.TMXM, res.TMXM)
+	c.DB.AddTMXM(res.TMXM)
+}
+
+// Characterize runs the complete RTL fault-injection phase: for every
+// characterised opcode, input range and exercised module, one
+// micro-benchmark campaign; plus t-MxM campaigns on the scheduler and
+// pipeline for the three tile kinds (§V).
+func Characterize(cfg CharacterizeConfig) (*Characterization, error) {
+	return CharacterizeCtx(context.Background(), cfg)
+}
+
+// CharacterizeCtx is Characterize with cancellation and aggregated
+// fault-level progress via cfg.Progress.
+func CharacterizeCtx(ctx context.Context, cfg CharacterizeConfig) (*Characterization, error) {
+	cfg.defaults()
+	plan := Plan(cfg)
+	total := 0
+	for _, u := range plan {
+		total += u.Faults
+	}
+	out := &Characterization{DB: syndrome.New()}
+	base := 0
+	for _, u := range plan {
+		var progress func(done, total int)
+		if cfg.Progress != nil {
+			off := base
+			progress = func(done, _ int) { cfg.Progress(off+done, total) }
+		}
+		res, err := RunUnit(ctx, u, cfg.Workers, progress)
+		if err != nil {
+			return nil, fmt.Errorf("core: %s: %w", u.Name(), err)
+		}
+		out.AddUnit(res)
+		base += u.Faults
 	}
 	return out, nil
 }
@@ -195,6 +315,12 @@ type EvalConfig struct {
 	Injections int // per application per model; default 500
 	Seed       uint64
 	Workers    int
+
+	// Progress, when non-nil, receives injection-level progress
+	// aggregated over all campaigns of the evaluation. It may be called
+	// concurrently and done values may arrive out of order; keep a
+	// running maximum.
+	Progress func(done, total int)
 }
 
 func (c *EvalConfig) defaults() {
@@ -222,23 +348,42 @@ func (e *AppEvaluation) Underestimation() float64 {
 
 // EvaluateHPC runs both fault models over the workloads (Fig. 10).
 func EvaluateHPC(db *syndrome.DB, workloads []*apps.Workload, cfg EvalConfig) ([]*AppEvaluation, error) {
+	return EvaluateHPCCtx(context.Background(), db, workloads, cfg)
+}
+
+// EvaluateHPCCtx is EvaluateHPC with cancellation and aggregated
+// injection-level progress via cfg.Progress.
+func EvaluateHPCCtx(ctx context.Context, db *syndrome.DB, workloads []*apps.Workload, cfg EvalConfig) ([]*AppEvaluation, error) {
 	cfg.defaults()
+	total := len(workloads) * 2 * cfg.Injections
+	base := 0
+	progress := func() func(done, total int) {
+		if cfg.Progress == nil {
+			return nil
+		}
+		off := base
+		return func(done, _ int) { cfg.Progress(off+done, total) }
+	}
 	var out []*AppEvaluation
 	for i, w := range workloads {
-		flip, err := swfi.Run(swfi.Campaign{
+		flip, err := swfi.RunCtx(ctx, swfi.Campaign{
 			Workload: w, Model: swfi.ModelBitFlip,
 			Injections: cfg.Injections, Seed: cfg.Seed + uint64(i)*2, Workers: cfg.Workers,
+			Progress: progress(),
 		})
 		if err != nil {
 			return nil, fmt.Errorf("core: %s bit-flip: %w", w.Name, err)
 		}
-		syn, err := swfi.Run(swfi.Campaign{
+		base += cfg.Injections
+		syn, err := swfi.RunCtx(ctx, swfi.Campaign{
 			Workload: w, Model: swfi.ModelSyndrome, DB: db,
 			Injections: cfg.Injections, Seed: cfg.Seed + uint64(i)*2 + 1, Workers: cfg.Workers,
+			Progress: progress(),
 		})
 		if err != nil {
 			return nil, fmt.Errorf("core: %s syndrome: %w", w.Name, err)
 		}
+		base += cfg.Injections
 		out = append(out, &AppEvaluation{
 			Name: w.Name, Domain: w.Domain, Size: w.Size,
 			BitFlip: flip, Syndrome: syn,
@@ -259,14 +404,32 @@ type CNNEvaluation struct {
 // EvaluateCNN runs the three fault models over one network.
 func EvaluateCNN(db *syndrome.DB, name string, net *cnn.Network, input []float32,
 	critical func(a, b []float32) bool, cfg EvalConfig) (*CNNEvaluation, error) {
+	return EvaluateCNNCtx(context.Background(), db, name, net, input, critical, cfg)
+}
+
+// EvaluateCNNCtx is EvaluateCNN with cancellation and aggregated
+// injection-level progress via cfg.Progress.
+func EvaluateCNNCtx(ctx context.Context, db *syndrome.DB, name string, net *cnn.Network, input []float32,
+	critical func(a, b []float32) bool, cfg EvalConfig) (*CNNEvaluation, error) {
 	cfg.defaults()
 	out := &CNNEvaluation{Name: name}
+	total := 3 * cfg.Injections
+	base := 0
 	run := func(model swfi.CNNModel, seed uint64) (*swfi.CNNResult, error) {
-		return swfi.RunCNN(swfi.CNNCampaign{
+		var progress func(done, total int)
+		if cfg.Progress != nil {
+			off := base
+			progress = func(done, _ int) { cfg.Progress(off+done, total) }
+		}
+		res, err := swfi.RunCNNCtx(ctx, swfi.CNNCampaign{
 			Net: net, Input: input, Model: model, DB: db,
 			Injections: cfg.Injections, Seed: seed, Workers: cfg.Workers,
-			Critical: critical,
+			Critical: critical, Progress: progress,
 		})
+		if err == nil {
+			base += cfg.Injections
+		}
+		return res, err
 	}
 	var err error
 	if out.BitFlip, err = run(swfi.CNNBitFlip, cfg.Seed+11); err != nil {

@@ -1,0 +1,324 @@
+package jobs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func newHTTPService(t *testing.T, cfg Config) (*Service, *httptest.Server) {
+	t.Helper()
+	s := newService(t, cfg)
+	srv := httptest.NewServer(s.Handler())
+	t.Cleanup(srv.Close)
+	return s, srv
+}
+
+func postJob(t *testing.T, base string, req Request) Status {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("POST /jobs = %d, want 201", resp.StatusCode)
+	}
+	var st Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func getJob(t *testing.T, base, id string) Status {
+	t.Helper()
+	resp, err := http.Get(base + "/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /jobs/%s = %d, want 200", id, resp.StatusCode)
+	}
+	var st Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestHTTPEndToEnd is the acceptance test: a campaign job submitted over
+// HTTP reports monotonically increasing progress and finishes with its
+// deterministic result.
+func TestHTTPEndToEnd(t *testing.T) {
+	_, srv := newHTTPService(t, Config{Workers: 2})
+
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /healthz = %d, want 200", resp.StatusCode)
+	}
+
+	st := postJob(t, srv.URL, smallHPC())
+	var progress []int64
+	deadline := time.Now().Add(60 * time.Second)
+	for !st.State.Terminal() {
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %s at %d/%d", st.State, st.Done, st.Total)
+		}
+		st = getJob(t, srv.URL, st.ID)
+		progress = append(progress, st.Done)
+		time.Sleep(2 * time.Millisecond)
+	}
+	if st.State != StateDone {
+		t.Fatalf("job ended %s (error %q)", st.State, st.Error)
+	}
+	for i := 1; i < len(progress); i++ {
+		if progress[i] < progress[i-1] {
+			t.Fatalf("progress regressed over HTTP: %d then %d (sample %d)", progress[i-1], progress[i], i)
+		}
+	}
+	if st.Done != st.Total || st.Total == 0 {
+		t.Errorf("final progress %d/%d, want full", st.Done, st.Total)
+	}
+	if len(st.Result) == 0 || !json.Valid(st.Result) {
+		t.Error("finished job exposes no valid result over HTTP")
+	}
+
+	// The job list includes it.
+	resp, err = http.Get(srv.URL + "/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list struct {
+		Jobs []Status `json:"jobs"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&list)
+	resp.Body.Close()
+	if err != nil || len(list.Jobs) != 1 || list.Jobs[0].ID != st.ID {
+		t.Errorf("GET /jobs = %+v, %v; want the one finished job", list, err)
+	}
+}
+
+// TestHTTPEvents streams the SSE endpoint and checks every event carries
+// monotonically non-decreasing progress, ending in a terminal state.
+func TestHTTPEvents(t *testing.T) {
+	_, srv := newHTTPService(t, Config{Workers: 1})
+	st := postJob(t, srv.URL, smallHPC())
+
+	resp, err := http.Get(srv.URL + "/jobs/" + st.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET events = %d, want 200", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("events content type %q", ct)
+	}
+	var (
+		events []Status
+		sc     = bufio.NewScanner(resp.Body)
+	)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var ev Status
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+			t.Fatalf("bad SSE payload %q: %v", line, err)
+		}
+		events = append(events, ev)
+		if ev.State.Terminal() {
+			break
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("no events received")
+	}
+	last := events[len(events)-1]
+	if last.State != StateDone {
+		t.Fatalf("stream ended in %s (error %q)", last.State, last.Error)
+	}
+	for i := 1; i < len(events); i++ {
+		if events[i].Done < events[i-1].Done {
+			t.Fatalf("SSE progress regressed: %d then %d", events[i-1].Done, events[i].Done)
+		}
+	}
+}
+
+// TestHTTPCancelMidRun is the acceptance test's cancellation half: DELETE
+// on a running job cancels it without corrupting its checkpoint.
+func TestHTTPCancelMidRun(t *testing.T) {
+	dir := t.TempDir()
+	_, srv := newHTTPService(t, Config{Workers: 1, Dir: dir, CheckpointEvery: 5 * time.Millisecond})
+	req := smallHPC()
+	req.Injections = 100000
+	st := postJob(t, srv.URL, req)
+	waitFor(t, 60*time.Second, "progress over HTTP", func() bool {
+		st = getJob(t, srv.URL, st.ID)
+		return st.State == StateRunning && st.Done > 0
+	})
+
+	del, err := http.NewRequest(http.MethodDelete, srv.URL+"/jobs/"+st.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(del)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE running job = %d, want 200", resp.StatusCode)
+	}
+	waitFor(t, 60*time.Second, "cancelled over HTTP", func() bool {
+		st = getJob(t, srv.URL, st.ID)
+		return st.State.Terminal()
+	})
+	if st.State != StateCancelled {
+		t.Fatalf("job ended %s, want cancelled", st.State)
+	}
+
+	blob, err := os.ReadFile(filepath.Join(dir, "job-000001.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ck checkpoint
+	if err := json.Unmarshal(blob, &ck); err != nil {
+		t.Fatalf("checkpoint corrupt after mid-run cancel: %v", err)
+	}
+	if ck.State != StateCancelled {
+		t.Errorf("checkpoint state %s, want cancelled", ck.State)
+	}
+
+	// A second DELETE conflicts: the job is already terminal.
+	resp, err = http.DefaultClient.Do(del)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Errorf("DELETE terminal job = %d, want 409", resp.StatusCode)
+	}
+}
+
+// TestHTTPResumeBitIdentical is the acceptance test's resume half: a job
+// interrupted by a service restart finishes with a result bit-identical
+// to an uninterrupted run, observed entirely over HTTP.
+func TestHTTPResumeBitIdentical(t *testing.T) {
+	req := multiUnitHPC()
+
+	// Uninterrupted reference run.
+	_, ref := newHTTPService(t, Config{Workers: 1})
+	st := postJob(t, ref.URL, req)
+	waitFor(t, 120*time.Second, "reference job", func() bool {
+		st = getJob(t, ref.URL, st.ID)
+		return st.State.Terminal()
+	})
+	if st.State != StateDone {
+		t.Fatalf("reference job ended %s (error %q)", st.State, st.Error)
+	}
+	want := st.Result
+
+	// Interrupted run: kill the service after the first unit checkpoints.
+	dir := t.TempDir()
+	s, err := New(Config{Workers: 1, Dir: dir, CheckpointEvery: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(s.Handler())
+	st2 := postJob(t, srv.URL, req)
+	waitFor(t, 120*time.Second, "first unit checkpoint", func() bool {
+		st2 = getJob(t, srv.URL, st2.ID)
+		return st2.UnitsDone >= 1
+	})
+	srv.Close()
+	s.Close()
+
+	// Restart on the same journal; the job resumes and finishes.
+	_, srv2 := newHTTPService(t, Config{Workers: 1, Dir: dir})
+	waitFor(t, 120*time.Second, "resumed job", func() bool {
+		st2 = getJob(t, srv2.URL, st2.ID)
+		return st2.State.Terminal()
+	})
+	if st2.State != StateDone {
+		t.Fatalf("resumed job ended %s (error %q)", st2.State, st2.Error)
+	}
+	if !bytes.Equal(want, st2.Result) {
+		t.Fatalf("resumed result differs from uninterrupted run:\nuninterrupted: %s\nresumed:       %s", want, st2.Result)
+	}
+}
+
+func TestHTTPErrors(t *testing.T) {
+	_, srv := newHTTPService(t, Config{Workers: 1})
+	check := func(method, path, body string, want int) {
+		t.Helper()
+		req, err := http.NewRequest(method, srv.URL+path, strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Errorf("%s %s = %d, want %d", method, path, resp.StatusCode, want)
+			return
+		}
+		if want >= 400 {
+			var eb errorBody
+			if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil || eb.Error == "" {
+				t.Errorf("%s %s: error body missing (%v)", method, path, err)
+			}
+		}
+	}
+	check(http.MethodGet, "/jobs/j-999999", "", http.StatusNotFound)
+	check(http.MethodDelete, "/jobs/j-999999", "", http.StatusNotFound)
+	check(http.MethodGet, "/jobs/j-999999/events", "", http.StatusNotFound)
+	check(http.MethodPost, "/jobs", "{not json", http.StatusBadRequest)
+	check(http.MethodPost, "/jobs", `{"kind":"hpc","bogus_field":1}`, http.StatusBadRequest)
+	check(http.MethodPost, "/jobs", `{"kind":"warp-drive"}`, http.StatusBadRequest)
+}
+
+func TestHTTPHealthzAfterClose(t *testing.T) {
+	s, err := New(Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	s.Close()
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("GET /healthz after Close = %d, want 503", resp.StatusCode)
+	}
+	if _, err := s.Submit(smallHPC()); err == nil {
+		t.Fatal("Submit after Close must fail")
+	}
+}

@@ -1,0 +1,345 @@
+package jobs
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// waitFor polls cond until it holds or the deadline expires.
+func waitFor(t *testing.T, timeout time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out after %v waiting for %s", timeout, what)
+}
+
+// smallHPC is a fast two-unit HPC request (~0.1s of engine work).
+func smallHPC() Request {
+	return Request{
+		Kind: KindHPC, Seed: 11,
+		Apps:       []AppSpec{{Name: "MxM", N: 16}},
+		Models:     []string{"bitflip", "bitflip2"},
+		Injections: 120,
+	}
+}
+
+// multiUnitHPC is a four-unit request, long enough to interrupt mid-run.
+func multiUnitHPC() Request {
+	return Request{
+		Kind: KindHPC, Seed: 23,
+		Apps:       []AppSpec{{Name: "MxM", N: 16}, {Name: "Quicksort", N: 256}},
+		Models:     []string{"bitflip", "bitflip2"},
+		Injections: 150,
+	}
+}
+
+func newService(t *testing.T, cfg Config) *Service {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+func TestSubmitValidation(t *testing.T) {
+	s := newService(t, Config{Workers: 1})
+	bad := []struct {
+		name string
+		req  Request
+	}{
+		{"unknown kind", Request{Kind: "frobnicate"}},
+		{"unknown app", Request{Kind: KindHPC, Apps: []AppSpec{{Name: "Nope"}}}},
+		{"bad app size", Request{Kind: KindHPC, Apps: []AppSpec{{Name: "MxM", N: 24}}, Models: []string{"bitflip"}}},
+		{"unknown HPC model", Request{Kind: KindHPC, Models: []string{"cosmic-ray"}}},
+		{"syndrome model without db", Request{Kind: KindHPC, Models: []string{"syndrome"}}},
+		{"unknown network", Request{Kind: KindCNN, Network: "AlexNet"}},
+		{"unknown CNN model", Request{Kind: KindCNN, Models: []string{"bitflip2"}}},
+		{"tile model without db", Request{Kind: KindCNN, Models: []string{"tile"}}},
+		{"unknown opcode", Request{Kind: KindCharacterize, Ops: []string{"HCF"}}},
+		{"unknown range", Request{Kind: KindCharacterize, Ranges: []string{"XL"}}},
+	}
+	for _, tc := range bad {
+		if _, err := s.Submit(tc.req); err == nil {
+			t.Errorf("%s: Submit accepted %+v", tc.name, tc.req)
+		}
+	}
+	if _, ok := s.Get("j-000001"); ok {
+		t.Error("rejected submissions must not register jobs")
+	}
+}
+
+func TestJobLifecycle(t *testing.T) {
+	s := newService(t, Config{Workers: 2})
+	st, err := s.Submit(smallHPC())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ID == "" || st.Total != 240 || st.UnitsTotal != 2 {
+		t.Fatalf("unexpected submit status %+v", st)
+	}
+	waitFor(t, 30*time.Second, "job done", func() bool {
+		st, _ = s.Get(st.ID)
+		return st.State.Terminal()
+	})
+	if st.State != StateDone {
+		t.Fatalf("job ended %s (error %q), want done", st.State, st.Error)
+	}
+	if st.Done != st.Total || st.UnitsDone != 2 {
+		t.Errorf("finished job reports done=%d/%d units=%d/2", st.Done, st.Total, st.UnitsDone)
+	}
+	var res Result
+	if err := json.Unmarshal(st.Result, &res); err != nil {
+		t.Fatalf("result is not valid JSON: %v", err)
+	}
+	if res.Kind != KindHPC || len(res.Units) != 2 {
+		t.Fatalf("unexpected result %+v", res)
+	}
+	var first HPCUnitResult
+	if err := json.Unmarshal(res.Units[0], &first); err != nil {
+		t.Fatal(err)
+	}
+	if first.App != "MxM" || first.Model != "bitflip" || first.Tally.Injections != 120 {
+		t.Errorf("units are not in plan order: first = %+v", first)
+	}
+}
+
+func TestCancelRunning(t *testing.T) {
+	dir := t.TempDir()
+	s := newService(t, Config{Workers: 1, Dir: dir, CheckpointEvery: 5 * time.Millisecond})
+	req := smallHPC()
+	req.Injections = 100000 // far longer than the test will wait
+	st, err := s.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 30*time.Second, "progress", func() bool {
+		st, _ = s.Get(st.ID)
+		return st.State == StateRunning && st.Done > 0
+	})
+	if _, err := s.Cancel(st.ID); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 30*time.Second, "cancelled state", func() bool {
+		st, _ = s.Get(st.ID)
+		return st.State.Terminal()
+	})
+	if st.State != StateCancelled {
+		t.Fatalf("job ended %s, want cancelled", st.State)
+	}
+	if _, err := s.Cancel(st.ID); err == nil {
+		t.Error("cancelling a terminal job must fail")
+	}
+	// The checkpoint must be intact, valid JSON recording the cancellation.
+	blob, err := os.ReadFile(filepath.Join(dir, "job-000001.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ck checkpoint
+	if err := json.Unmarshal(blob, &ck); err != nil {
+		t.Fatalf("checkpoint corrupt after cancel: %v", err)
+	}
+	if ck.State != StateCancelled || ck.ID != st.ID {
+		t.Errorf("checkpoint records %s/%s, want %s/cancelled", ck.ID, ck.State, st.ID)
+	}
+}
+
+func TestCancelQueued(t *testing.T) {
+	s := newService(t, Config{Workers: 1})
+	blocker := smallHPC()
+	blocker.Injections = 100000
+	if _, err := s.Submit(blocker); err != nil {
+		t.Fatal(err)
+	}
+	st, err := s.Submit(smallHPC())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateQueued {
+		t.Fatalf("second job is %s, want queued behind the blocker", st.State)
+	}
+	st, err = s.Cancel(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateCancelled {
+		t.Fatalf("queued job cancel left state %s", st.State)
+	}
+}
+
+// runToCompletion submits req on a fresh single-worker service and returns
+// the finished job's result bytes.
+func runToCompletion(t *testing.T, req Request) []byte {
+	t.Helper()
+	s := newService(t, Config{Workers: 1})
+	st, err := s.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 120*time.Second, "uninterrupted job", func() bool {
+		st, _ = s.Get(st.ID)
+		return st.State.Terminal()
+	})
+	if st.State != StateDone {
+		t.Fatalf("job ended %s (error %q)", st.State, st.Error)
+	}
+	return st.Result
+}
+
+// interruptAndResume submits req, shuts the service down once at least one
+// unit has checkpointed, restarts on the same journal directory, and
+// returns the resumed job's final result bytes.
+func interruptAndResume(t *testing.T, req Request) []byte {
+	t.Helper()
+	dir := t.TempDir()
+	s, err := New(Config{Workers: 1, Dir: dir, CheckpointEvery: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := s.Submit(req)
+	if err != nil {
+		s.Close()
+		t.Fatal(err)
+	}
+	waitFor(t, 120*time.Second, "first unit checkpoint", func() bool {
+		st, _ = s.Get(st.ID)
+		return st.UnitsDone >= 1
+	})
+	s.Close() // interrupt: unfinished work re-journals as queued
+
+	s2 := newService(t, Config{Workers: 1, Dir: dir})
+	st2, ok := s2.Get(st.ID)
+	if !ok {
+		t.Fatalf("job %s lost across restart", st.ID)
+	}
+	if st2.UnitsDone < 1 {
+		t.Fatalf("resumed job forgot its completed units: %+v", st2)
+	}
+	waitFor(t, 120*time.Second, "resumed job", func() bool {
+		st2, _ = s2.Get(st.ID)
+		return st2.State.Terminal()
+	})
+	if st2.State != StateDone {
+		t.Fatalf("resumed job ended %s (error %q)", st2.State, st2.Error)
+	}
+	return st2.Result
+}
+
+func TestResumeBitIdenticalHPC(t *testing.T) {
+	req := multiUnitHPC()
+	want := runToCompletion(t, req)
+	got := interruptAndResume(t, req)
+	if !bytes.Equal(want, got) {
+		t.Fatalf("resumed result differs from uninterrupted run:\nuninterrupted: %s\nresumed:       %s", want, got)
+	}
+}
+
+func TestResumeBitIdenticalCharacterize(t *testing.T) {
+	req := Request{
+		Kind: KindCharacterize, Seed: 5,
+		Ops: []string{"FADD", "FMUL"}, Ranges: []string{"M"},
+		Faults: 300, SkipTMXM: true,
+	}
+	want := runToCompletion(t, req)
+	got := interruptAndResume(t, req)
+	if !bytes.Equal(want, got) {
+		t.Fatalf("resumed characterisation differs from uninterrupted run (len %d vs %d)", len(want), len(got))
+	}
+	var res Result
+	if err := json.Unmarshal(want, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.DB == nil || len(res.DB.Entries) == 0 {
+		t.Fatal("characterize result carries no syndrome DB")
+	}
+}
+
+func TestWorkerPoolSaturation(t *testing.T) {
+	s := newService(t, Config{Workers: 2})
+	const n = 6
+	req := smallHPC()
+	req.Models = []string{"bitflip"}
+	req.Injections = 400
+	for i := 0; i < n; i++ {
+		if _, err := s.Submit(req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	maxRunning := 0
+	waitFor(t, 120*time.Second, "all jobs done", func() bool {
+		running, terminal := 0, 0
+		for _, st := range s.List() {
+			switch {
+			case st.State == StateRunning:
+				running++
+			case st.State.Terminal():
+				terminal++
+			}
+		}
+		if running > maxRunning {
+			maxRunning = running
+		}
+		return terminal == n
+	})
+	if maxRunning > 2 {
+		t.Fatalf("pool ran %d jobs at once with Workers=2", maxRunning)
+	}
+	if maxRunning < 2 {
+		t.Errorf("pool never saturated: max concurrent running = %d", maxRunning)
+	}
+	for _, st := range s.List() {
+		if st.State != StateDone {
+			t.Errorf("job %s ended %s (error %q)", st.ID, st.State, st.Error)
+		}
+	}
+}
+
+func TestQueueFull(t *testing.T) {
+	s := newService(t, Config{Workers: 1, QueueDepth: 1})
+	blocker := smallHPC()
+	blocker.Injections = 100000
+	if _, err := s.Submit(blocker); err != nil {
+		t.Fatal(err)
+	}
+	// The single worker may or may not have dequeued the blocker yet; fill
+	// whatever queue space remains, then expect errQueueFull.
+	var err error
+	for i := 0; i < 3; i++ {
+		if _, err = s.Submit(smallHPC()); err != nil {
+			break
+		}
+	}
+	if err == nil {
+		t.Fatal("queue of depth 1 accepted 4 submissions")
+	}
+}
+
+func TestCorruptCheckpointRejected(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "job-000001.json"), []byte("{\"id\": \"j-0"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(Config{Workers: 1, Dir: dir}); err == nil {
+		t.Fatal("New accepted a truncated checkpoint journal")
+	}
+}
+
+func TestDeriveSeedStable(t *testing.T) {
+	a := deriveSeed(42, "MxM/bitflip")
+	if b := deriveSeed(42, "MxM/bitflip"); a != b {
+		t.Fatal("deriveSeed is not deterministic")
+	}
+	if deriveSeed(42, "MxM/bitflip2") == a || deriveSeed(43, "MxM/bitflip") == a {
+		t.Fatal("deriveSeed ignores its inputs")
+	}
+}

@@ -1,0 +1,614 @@
+package jobs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gpufi/internal/syndrome"
+)
+
+// State is a job's lifecycle stage.
+type State string
+
+// Job states. Queued and running jobs survive a service restart (they are
+// re-queued and resume from their last checkpointed unit); the other
+// states are terminal.
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Config tunes a Service. The zero value is usable: no persistence, one
+// job slot per CPU, single-threaded engines.
+type Config struct {
+	// Dir is the checkpoint journal directory; empty disables
+	// persistence (jobs then live only as long as the service).
+	Dir string
+
+	// Workers bounds how many jobs run concurrently; default
+	// runtime.NumCPU().
+	Workers int
+
+	// EngineWorkers is the per-campaign worker count handed to the
+	// injection engines; default 1, so total parallelism stays near
+	// Workers even when the pool is saturated.
+	EngineWorkers int
+
+	// CheckpointEvery is the progress-journal cadence while a unit is in
+	// flight; completed units checkpoint immediately. Default 2s.
+	CheckpointEvery time.Duration
+
+	// QueueDepth bounds the submission queue; Submit fails once it is
+	// full. Default 1024.
+	QueueDepth int
+
+	// Logf, when non-nil, receives service diagnostics (checkpoint write
+	// failures and the like).
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) defaults() {
+	if c.Workers <= 0 {
+		c.Workers = runtime.NumCPU()
+	}
+	if c.EngineWorkers <= 0 {
+		c.EngineWorkers = 1
+	}
+	if c.CheckpointEvery <= 0 {
+		c.CheckpointEvery = 2 * time.Second
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 1024
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+}
+
+// Job is one submitted campaign. All mutable fields are guarded by mu
+// except the done/total counters, which are atomics so engine progress
+// callbacks never contend with status reads.
+type Job struct {
+	id  string
+	req Request
+
+	done  atomic.Int64
+	total atomic.Int64
+
+	mu            sync.Mutex
+	state         State
+	errMsg        string
+	unitsTotal    int
+	completed     map[string]json.RawMessage
+	db            *syndrome.DB // partial DB of a characterize job
+	result        json.RawMessage
+	cancel        context.CancelFunc // non-nil while running
+	userCancelled bool
+}
+
+// Status is a point-in-time, JSON-ready view of a job.
+type Status struct {
+	ID         string          `json:"id"`
+	Kind       Kind            `json:"kind"`
+	State      State           `json:"state"`
+	Done       int64           `json:"done"`
+	Total      int64           `json:"total"`
+	UnitsDone  int             `json:"units_done"`
+	UnitsTotal int             `json:"units_total"`
+	Error      string          `json:"error,omitempty"`
+	Result     json.RawMessage `json:"result,omitempty"`
+}
+
+// Status snapshots the job.
+func (j *Job) Status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return Status{
+		ID:         j.id,
+		Kind:       j.req.Kind,
+		State:      j.state,
+		Done:       j.done.Load(),
+		Total:      j.total.Load(),
+		UnitsDone:  len(j.completed),
+		UnitsTotal: j.unitsTotal,
+		Error:      j.errMsg,
+		Result:     j.result,
+	}
+}
+
+// bumpDone raises the progress counter to v if v is larger, keeping the
+// externally visible count monotonic even though engine workers report
+// out of order.
+func (j *Job) bumpDone(v int64) {
+	for {
+		cur := j.done.Load()
+		if v <= cur || j.done.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// checkpoint is the journal record of one job, written atomically to
+// Dir/job-<id>.json after every completed unit and on the periodic tick.
+type checkpoint struct {
+	ID         string                     `json:"id"`
+	Request    Request                    `json:"request"`
+	State      State                      `json:"state"`
+	Done       int64                      `json:"done"`
+	Total      int64                      `json:"total"`
+	UnitsTotal int                        `json:"units_total"`
+	Error      string                     `json:"error,omitempty"`
+	Completed  map[string]json.RawMessage `json:"completed,omitempty"`
+	DB         *syndrome.DB               `json:"db,omitempty"`
+	Result     json.RawMessage            `json:"result,omitempty"`
+}
+
+// Submission errors that map to 503 rather than 400 over HTTP.
+var (
+	errClosed    = fmt.Errorf("jobs: service is shut down")
+	errQueueFull = fmt.Errorf("jobs: submission queue full")
+)
+
+// Service is the campaign job registry and worker pool.
+type Service struct {
+	cfg Config
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	order  []string
+	seq    int
+	closed bool
+
+	queue chan *Job
+	wg    sync.WaitGroup
+}
+
+// New builds a service, reloads any checkpointed jobs from cfg.Dir
+// (re-queuing the unfinished ones), and starts the worker pool.
+func New(cfg Config) (*Service, error) {
+	cfg.defaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Service{
+		cfg:        cfg,
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		jobs:       make(map[string]*Job),
+		queue:      make(chan *Job, cfg.QueueDepth),
+	}
+	if cfg.Dir != "" {
+		if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+			cancel()
+			return nil, err
+		}
+		if err := s.loadCheckpoints(); err != nil {
+			cancel()
+			return nil, err
+		}
+	}
+	for w := 0; w < cfg.Workers; w++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// loadCheckpoints restores jobs from the journal directory. Unfinished
+// jobs (queued or running at the time of the previous shutdown) are
+// re-queued in ID order so the oldest submission resumes first.
+func (s *Service) loadCheckpoints() error {
+	paths, err := filepath.Glob(filepath.Join(s.cfg.Dir, "job-*.json"))
+	if err != nil {
+		return err
+	}
+	sort.Strings(paths)
+	var resume []*Job
+	for _, path := range paths {
+		blob, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		var ck checkpoint
+		if err := json.Unmarshal(blob, &ck); err != nil {
+			return fmt.Errorf("jobs: checkpoint %s is truncated or corrupt: %w", path, err)
+		}
+		j := &Job{
+			id:         ck.ID,
+			req:        ck.Request,
+			state:      ck.State,
+			errMsg:     ck.Error,
+			unitsTotal: ck.UnitsTotal,
+			completed:  ck.Completed,
+			db:         ck.DB,
+			result:     ck.Result,
+		}
+		if j.completed == nil {
+			j.completed = make(map[string]json.RawMessage)
+		}
+		j.done.Store(ck.Done)
+		j.total.Store(ck.Total)
+		if !j.state.Terminal() {
+			j.state = StateQueued
+			resume = append(resume, j)
+		}
+		if n, err := strconv.Atoi(strings.TrimPrefix(ck.ID, "j-")); err == nil && n > s.seq {
+			s.seq = n
+		}
+		s.jobs[j.id] = j
+		s.order = append(s.order, j.id)
+	}
+	for _, j := range resume {
+		select {
+		case s.queue <- j:
+		default:
+			return fmt.Errorf("jobs: queue depth %d too small to resume %d checkpointed jobs", s.cfg.QueueDepth, len(resume))
+		}
+	}
+	return nil
+}
+
+// Submit validates, registers, journals and enqueues a job.
+func (s *Service) Submit(req Request) (Status, error) {
+	prog, err := compile(req)
+	if err != nil {
+		return Status{}, err
+	}
+	total := int64(0)
+	for _, u := range prog.units {
+		total += int64(u.total)
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return Status{}, errClosed
+	}
+	s.seq++
+	j := &Job{
+		id:         fmt.Sprintf("j-%06d", s.seq),
+		req:        req,
+		state:      StateQueued,
+		unitsTotal: len(prog.units),
+		completed:  make(map[string]json.RawMessage),
+	}
+	j.total.Store(total)
+	select {
+	case s.queue <- j:
+	default:
+		s.seq--
+		s.mu.Unlock()
+		return Status{}, fmt.Errorf("%w (%d pending)", errQueueFull, s.cfg.QueueDepth)
+	}
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.mu.Unlock()
+	s.saveCheckpoint(j)
+	return j.Status(), nil
+}
+
+// Get returns a job's status by ID.
+func (s *Service) Get(id string) (Status, bool) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return Status{}, false
+	}
+	return j.Status(), true
+}
+
+// List returns every known job's status in submission order.
+func (s *Service) List() []Status {
+	s.mu.Lock()
+	js := make([]*Job, 0, len(s.order))
+	for _, id := range s.order {
+		js = append(js, s.jobs[id])
+	}
+	s.mu.Unlock()
+	out := make([]Status, len(js))
+	for i, j := range js {
+		out[i] = j.Status()
+	}
+	return out
+}
+
+// Cancel stops a queued or running job. Cancelling is idempotent;
+// cancelling a terminal job is an error.
+func (s *Service) Cancel(id string) (Status, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return Status{}, fmt.Errorf("jobs: no job %s", id)
+	}
+	j.mu.Lock()
+	switch {
+	case j.state.Terminal():
+		j.mu.Unlock()
+		return j.Status(), fmt.Errorf("jobs: job %s already %s", id, j.Status().State)
+	case j.state == StateQueued:
+		j.userCancelled = true
+		j.state = StateCancelled
+		j.mu.Unlock()
+		s.saveCheckpoint(j)
+	default: // running
+		j.userCancelled = true
+		cancel := j.cancel
+		j.mu.Unlock()
+		if cancel != nil {
+			cancel()
+		}
+	}
+	return j.Status(), nil
+}
+
+// Close stops accepting submissions, cancels running jobs, waits for the
+// pool to drain, and journals every unfinished job as queued so the next
+// service instance resumes it.
+func (s *Service) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.baseCancel()
+	s.mu.Lock()
+	close(s.queue)
+	s.mu.Unlock()
+	s.wg.Wait()
+	for _, st := range s.List() {
+		if !st.State.Terminal() {
+			s.mu.Lock()
+			j := s.jobs[st.ID]
+			s.mu.Unlock()
+			j.mu.Lock()
+			j.state = StateQueued
+			j.mu.Unlock()
+			s.saveCheckpoint(j)
+		}
+	}
+}
+
+func (s *Service) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.runJob(j)
+	}
+}
+
+// runJob executes one job: compile, skip checkpointed units, run the
+// rest, journal after each, and assemble the deterministic final result.
+func (s *Service) runJob(j *Job) {
+	j.mu.Lock()
+	if j.state != StateQueued || s.baseCtx.Err() != nil {
+		// Cancelled while queued, or the service is shutting down; in the
+		// latter case the job stays queued for the next instance.
+		j.mu.Unlock()
+		return
+	}
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	j.state = StateRunning
+	j.cancel = cancel
+	if j.db == nil {
+		j.db = syndrome.New()
+	}
+	j.mu.Unlock()
+	defer cancel()
+
+	fail := func(err error) {
+		j.mu.Lock()
+		j.state = StateFailed
+		j.errMsg = err.Error()
+		j.cancel = nil
+		j.mu.Unlock()
+		s.saveCheckpoint(j)
+	}
+
+	prog, err := compile(j.req)
+	if err != nil {
+		fail(err)
+		return
+	}
+	env := &runEnv{workers: s.cfg.EngineWorkers, char: j.db, mu: &j.mu}
+	if prog.needsDB {
+		db, err := loadSyndromeDB(j.req.DBPath)
+		if err != nil {
+			fail(err)
+			return
+		}
+		env.db = db
+	}
+
+	// Periodic progress journal while units are in flight.
+	stopTick := make(chan struct{})
+	var tickWG sync.WaitGroup
+	tickWG.Add(1)
+	go func() {
+		defer tickWG.Done()
+		t := time.NewTicker(s.cfg.CheckpointEvery)
+		defer t.Stop()
+		for {
+			select {
+			case <-stopTick:
+				return
+			case <-t.C:
+				s.saveCheckpoint(j)
+			}
+		}
+	}()
+
+	base := int64(0)
+	for _, u := range prog.units {
+		j.mu.Lock()
+		_, doneAlready := j.completed[u.name]
+		j.mu.Unlock()
+		if doneAlready {
+			base += int64(u.total)
+			j.bumpDone(base)
+			continue
+		}
+		if ctx.Err() != nil {
+			break
+		}
+		off := base
+		raw, err := u.run(ctx, env, func(done, _ int) {
+			j.bumpDone(off + int64(done))
+		})
+		if err != nil {
+			if ctx.Err() != nil {
+				break // cancellation surfaces below, not as a failure
+			}
+			close(stopTick)
+			tickWG.Wait()
+			fail(fmt.Errorf("unit %s: %w", u.name, err))
+			return
+		}
+		base += int64(u.total)
+		j.bumpDone(base)
+		j.mu.Lock()
+		j.completed[u.name] = raw
+		j.mu.Unlock()
+		s.saveCheckpoint(j)
+	}
+	close(stopTick)
+	tickWG.Wait()
+
+	if ctx.Err() != nil {
+		j.mu.Lock()
+		if j.userCancelled {
+			j.state = StateCancelled
+		} else {
+			// Service shutdown: back to the queue for the next instance.
+			j.state = StateQueued
+		}
+		j.cancel = nil
+		j.mu.Unlock()
+		s.saveCheckpoint(j)
+		return
+	}
+
+	// All units done: assemble the final result in plan order.
+	res := Result{Kind: j.req.Kind}
+	j.mu.Lock()
+	for _, u := range prog.units {
+		res.Units = append(res.Units, j.completed[u.name])
+	}
+	if j.req.Kind == KindCharacterize {
+		res.DB = j.db
+	}
+	j.mu.Unlock()
+	blob, err := json.Marshal(res)
+	if err != nil {
+		fail(err)
+		return
+	}
+	j.mu.Lock()
+	j.state = StateDone
+	j.result = blob
+	j.cancel = nil
+	j.mu.Unlock()
+	s.saveCheckpoint(j)
+}
+
+// saveCheckpoint journals a job atomically (temp file + rename), so a
+// crash mid-write can never corrupt an existing checkpoint.
+func (s *Service) saveCheckpoint(j *Job) {
+	if s.cfg.Dir == "" {
+		return
+	}
+	j.mu.Lock()
+	ck := checkpoint{
+		ID:         j.id,
+		Request:    j.req,
+		State:      j.state,
+		Done:       j.done.Load(),
+		Total:      j.total.Load(),
+		UnitsTotal: j.unitsTotal,
+		Error:      j.errMsg,
+		Completed:  j.completed,
+		Result:     j.result,
+	}
+	if j.req.Kind == KindCharacterize && j.db != nil && len(j.db.Entries)+len(j.db.TMXM) > 0 {
+		ck.DB = j.db
+	}
+	blob, err := json.Marshal(ck)
+	j.mu.Unlock()
+	if err != nil {
+		s.cfg.Logf("jobs: marshal checkpoint %s: %v", j.id, err)
+		return
+	}
+	path := filepath.Join(s.cfg.Dir, "job-"+strings.TrimPrefix(j.id, "j-")+".json")
+	if err := atomicWriteFile(path, blob, 0o644); err != nil {
+		s.cfg.Logf("jobs: write checkpoint %s: %v", j.id, err)
+	}
+}
+
+// loadSyndromeDB reads a syndrome database for a job's syndrome/tile
+// fault models, rejecting empty or torn files with a descriptive error.
+func loadSyndromeDB(path string) (*syndrome.DB, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(blob) == 0 {
+		return nil, fmt.Errorf("jobs: syndrome database %s is empty (truncated write? re-run the RTL characterisation)", path)
+	}
+	db := syndrome.New()
+	if err := json.Unmarshal(blob, db); err != nil {
+		return nil, fmt.Errorf("jobs: syndrome database %s is truncated or corrupt: %w", path, err)
+	}
+	return db, nil
+}
+
+// atomicWriteFile writes data to a temp file in path's directory and
+// renames it over path.
+func atomicWriteFile(path string, data []byte, perm os.FileMode) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if tmp != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if _, err := tmp.Write(data); err != nil {
+		return err
+	}
+	if err := tmp.Chmod(perm); err != nil {
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	name := tmp.Name()
+	tmp = nil
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+		return err
+	}
+	return nil
+}

@@ -1,11 +1,13 @@
 package rtlfi
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/bits"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"gpufi/internal/faults"
 	"gpufi/internal/fp32"
@@ -34,6 +36,12 @@ type Spec struct {
 	NumFaults int
 	Seed      uint64
 	Workers   int // 0 = GOMAXPROCS
+
+	// Progress, when non-nil, is called after every simulated fault with
+	// the number of completed faults and the campaign total. It is called
+	// concurrently from worker goroutines and calls may arrive with
+	// non-monotonic done values; consumers should keep a running maximum.
+	Progress func(done, total int)
 }
 
 // Detailed is the paper's per-SDC detailed report record (§IV-A).
@@ -70,6 +78,14 @@ type inputDraw struct {
 // list (bit, cycle, input draw) is generated deterministically from
 // Spec.Seed; faults are simulated in parallel on per-worker machines.
 func RunMicro(spec Spec) (*Result, error) {
+	return RunMicroCtx(context.Background(), spec)
+}
+
+// RunMicroCtx is RunMicro with cancellation: when ctx is cancelled the
+// workers stop at the next fault boundary and the context error is
+// returned. Because the fault list is derived up front from Spec.Seed, a
+// re-run of the same spec reproduces the campaign bit-identically.
+func RunMicroCtx(ctx context.Context, spec Spec) (*Result, error) {
 	if !ModuleUsed(spec.Module, spec.Op) {
 		return nil, fmt.Errorf("rtlfi: module %s idle during %s (not characterised)", spec.Module, spec.Op)
 	}
@@ -115,6 +131,7 @@ func RunMicro(spec Spec) (*Result, error) {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	partials := make([]*Result, workers)
+	var completed atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -123,6 +140,9 @@ func RunMicro(spec Spec) (*Result, error) {
 			res := &Result{Spec: spec}
 			machine := rtl.New()
 			for i := w; i < len(jobs); i += workers {
+				if ctx.Err() != nil {
+					break
+				}
 				j := jobs[i]
 				d := &draws[j.draw]
 				g := append([]uint32(nil), d.global...)
@@ -130,11 +150,17 @@ func RunMicro(spec Spec) (*Result, error) {
 				err := machine.Run(prog, 1, MicroThreads, g, 0,
 					d.goldenCycles*watchdogFactor+1000)
 				classify(res, spec.Op, j.fault, machine, g, d.golden, err)
+				if spec.Progress != nil {
+					spec.Progress(int(completed.Add(1)), len(jobs))
+				}
 			}
 			partials[w] = res
 		}(w)
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	out := &Result{Spec: spec, GoldenCycles: draws[0].goldenCycles}
 	for _, p := range partials {

@@ -1,10 +1,12 @@
 package rtlfi
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"gpufi/internal/faults"
 	"gpufi/internal/mxm"
@@ -22,6 +24,10 @@ type TMXMSpec struct {
 	NumFaults int
 	Seed      uint64
 	Workers   int
+
+	// Progress, when non-nil, is called after every simulated fault; see
+	// Spec.Progress for the concurrency contract.
+	Progress func(done, total int)
 }
 
 // TMXMResult aggregates a t-MxM campaign: the outcome tally, the spatial
@@ -53,6 +59,12 @@ func (r *TMXMResult) PatternShare(p faults.Pattern) float64 {
 
 // RunTMXM executes a t-MxM RTL fault-injection campaign.
 func RunTMXM(spec TMXMSpec) (*TMXMResult, error) {
+	return RunTMXMCtx(context.Background(), spec)
+}
+
+// RunTMXMCtx is RunTMXM with cancellation at fault boundaries; the fault
+// list is derived from Spec.Seed so re-runs are bit-identical.
+func RunTMXMCtx(ctx context.Context, spec TMXMSpec) (*TMXMResult, error) {
 	if spec.Module != faults.ModSched && spec.Module != faults.ModPipe {
 		return nil, fmt.Errorf("rtlfi: t-MxM characterises scheduler and pipeline only (got %s)", spec.Module)
 	}
@@ -106,6 +118,7 @@ func RunTMXM(spec TMXMSpec) (*TMXMResult, error) {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	partials := make([]*TMXMResult, workers)
+	var completed atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -113,8 +126,7 @@ func RunTMXM(spec TMXMSpec) (*TMXMResult, error) {
 			defer wg.Done()
 			res := &TMXMResult{Spec: spec, PatternErrs: make(map[faults.Pattern][]float64)}
 			machine := rtl.New()
-			for i := w; i < len(jobs); i += workers {
-				j := jobs[i]
+			simulate := func(j job) {
 				d := &draws[j.draw]
 				g := append([]uint32(nil), d.global...)
 				machine.Inject(j.fault)
@@ -122,13 +134,13 @@ func RunTMXM(spec TMXMSpec) (*TMXMResult, error) {
 					d.goldenCycles*watchdogFactor+1000)
 				if err != nil {
 					res.Tally.Add(faults.DUE, 0)
-					continue
+					return
 				}
 				faultyC := mxm.ExtractC(g, mxm.Tile)
 				corr := mxm.Compare(d.goldenC, faultyC, mxm.Tile)
 				if corr.Count == 0 {
 					res.Tally.Add(faults.Masked, 0)
-					continue
+					return
 				}
 				res.Tally.Add(faults.SDC, corr.Count)
 				pat := corr.Classify()
@@ -141,10 +153,22 @@ func RunTMXM(spec TMXMSpec) (*TMXMResult, error) {
 				}
 				res.PatternErrs[pat] = append(res.PatternErrs[pat], finite...)
 			}
+			for i := w; i < len(jobs); i += workers {
+				if ctx.Err() != nil {
+					break
+				}
+				simulate(jobs[i])
+				if spec.Progress != nil {
+					spec.Progress(int(completed.Add(1)), len(jobs))
+				}
+			}
 			partials[w] = res
 		}(w)
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	out := &TMXMResult{Spec: spec, PatternErrs: make(map[faults.Pattern][]float64), GoldenCycles: draws[0].goldenCycles}
 	for _, p := range partials {

@@ -1,9 +1,11 @@
 package swfi
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
+	"sync/atomic"
 
 	"gpufi/internal/cnn"
 	"gpufi/internal/emu"
@@ -53,6 +55,10 @@ type CNNCampaign struct {
 	// Critical classifies an SDC as critical (misclassification or
 	// misdetection) by comparing golden and faulty outputs.
 	Critical func(golden, faulty []float32) bool
+
+	// Progress, when non-nil, is called after every completed injection
+	// run; see Campaign.Progress for the concurrency contract.
+	Progress func(done, total int)
 }
 
 // CNNResult aggregates a CNN campaign, separating tolerable from critical
@@ -78,6 +84,13 @@ func (r *CNNResult) CriticalShare() float64 {
 
 // RunCNN executes a CNN injection campaign.
 func RunCNN(c CNNCampaign) (*CNNResult, error) {
+	return RunCNNCtx(context.Background(), c)
+}
+
+// RunCNNCtx is RunCNN with cancellation at injection boundaries.
+// Per-injection RNG streams are derived from the seed and injection index,
+// so re-runs reproduce the campaign bit-identically.
+func RunCNNCtx(ctx context.Context, c CNNCampaign) (*CNNResult, error) {
 	if (c.Model == CNNSyndrome || c.Model == CNNTile) && c.DB == nil {
 		return nil, ErrNoDB
 	}
@@ -102,7 +115,7 @@ func RunCNN(c CNNCampaign) (*CNNResult, error) {
 		workers = defaultWorkers()
 	}
 	var crit int
-	res.Tally, crit = parallelInjectionsWithSide(c.Injections, workers, c.Seed,
+	res.Tally, crit = parallelInjectionsWithSide(ctx, c.Injections, workers, c.Seed, c.Progress,
 		func(r *stats.RNG) (faults.Outcome, bool) {
 			var out []float32
 			var err error
@@ -136,25 +149,35 @@ func RunCNN(c CNNCampaign) (*CNNResult, error) {
 				return faults.Masked, false
 			}
 		})
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	res.CriticalSDC = crit
 	return res, nil
 }
 
 // parallelInjectionsWithSide is parallelInjections with a critical-SDC
-// counter.
-func parallelInjectionsWithSide(n, workers int, seed uint64,
-	one func(*stats.RNG) (faults.Outcome, bool)) (faults.Tally, int) {
+// counter. Workers stop at injection boundaries once ctx is cancelled.
+func parallelInjectionsWithSide(ctx context.Context, n, workers int, seed uint64,
+	progress func(done, total int), one func(*stats.RNG) (faults.Outcome, bool)) (faults.Tally, int) {
 	partial := make([]faults.Tally, workers)
 	critPartial := make([]int, workers)
+	var completed atomic.Int64
 	done := make(chan struct{}, workers)
 	for w := 0; w < workers; w++ {
 		go func(w int) {
 			for i := w; i < n; i += workers {
+				if ctx.Err() != nil {
+					break
+				}
 				r := stats.NewRNG(seed ^ 0xD1B54A32D192ED03*uint64(i+1))
 				o, crit := one(r)
 				partial[w].Add(o, 1)
 				if crit {
 					critPartial[w]++
+				}
+				if progress != nil {
+					progress(int(completed.Add(1)), n)
 				}
 			}
 			done <- struct{}{}

@@ -9,9 +9,11 @@
 package swfi
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"gpufi/internal/apps"
 	"gpufi/internal/emu"
@@ -244,6 +246,12 @@ type Campaign struct {
 	// (the DESIGN.md §6 ablation; Rodinia-style golden compares use 0 =
 	// exact).
 	Tolerance float64
+
+	// Progress, when non-nil, is called after every completed injection
+	// run with the number of completed runs and the campaign total. It is
+	// called concurrently from worker goroutines and done values may
+	// arrive out of order; consumers should keep a running maximum.
+	Progress func(done, total int)
 }
 
 // InjectionRecord audits one injection run.
@@ -279,6 +287,15 @@ var ErrNoDB = errors.New("swfi: syndrome model requires a fault-model database")
 // Run executes the campaign: one golden run, one profiling run, then
 // Injections instrumented runs with one corrupted instruction each.
 func Run(c Campaign) (*Result, error) {
+	return RunCtx(context.Background(), c)
+}
+
+// RunCtx is Run with cancellation: when ctx is cancelled the workers stop
+// at the next injection boundary and the context error is returned.
+// Per-injection RNG streams are derived from Campaign.Seed and the
+// injection index, so re-running the same campaign — whole or after an
+// interruption — reproduces every injection bit-identically.
+func RunCtx(ctx context.Context, c Campaign) (*Result, error) {
 	if c.Model.NeedsDB() && c.DB == nil {
 		return nil, ErrNoDB
 	}
@@ -300,7 +317,7 @@ func Run(c Campaign) (*Result, error) {
 	if c.RecordInjections {
 		records = make([]InjectionRecord, c.Injections)
 	}
-	tallies := parallelInjectionsIdx(c.Injections, c.Workers, c.Seed, func(i int, r *stats.RNG) faults.Outcome {
+	tallies := parallelInjectionsIdx(ctx, c.Injections, c.Workers, c.Seed, c.Progress, func(i int, r *stats.RNG) faults.Outcome {
 		in := &injector{
 			target: r.Uint64() % injectable,
 			model:  c.Model,
@@ -327,6 +344,9 @@ func Run(c Campaign) (*Result, error) {
 		}
 		return outcome
 	})
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	res.Tally = tallies
 	res.Records = records
 	return res, nil
@@ -334,17 +354,26 @@ func Run(c Campaign) (*Result, error) {
 
 // parallelInjectionsIdx fans the injection loop across workers with
 // deterministic per-injection RNG streams, passing the injection index.
-func parallelInjectionsIdx(n, workers int, seed uint64, one func(int, *stats.RNG) faults.Outcome) faults.Tally {
+// Workers stop at injection boundaries once ctx is cancelled.
+func parallelInjectionsIdx(ctx context.Context, n, workers int, seed uint64,
+	progress func(done, total int), one func(int, *stats.RNG) faults.Outcome) faults.Tally {
 	if workers <= 0 {
 		workers = defaultWorkers()
 	}
 	partial := make([]faults.Tally, workers)
+	var completed atomic.Int64
 	done := make(chan int, workers)
 	for w := 0; w < workers; w++ {
 		go func(w int) {
 			for i := w; i < n; i += workers {
+				if ctx.Err() != nil {
+					break
+				}
 				r := stats.NewRNG(seed ^ 0x9E3779B97F4A7C15*uint64(i+1))
 				partial[w].Add(one(i, r), 1)
+				if progress != nil {
+					progress(int(completed.Add(1)), n)
+				}
 			}
 			done <- w
 		}(w)
