@@ -251,9 +251,25 @@ func BenchmarkFig4_MicrobenchAVF(b *testing.B) {
 				r.Op, 100*r.SDCSingle, 100*r.SDCMulti, 100*r.DUE, r.AvgThreads)
 		}
 	})
+	var sim, skipped uint64
+	for _, res := range c.Micro {
+		sim += res.SimCycles
+		skipped += res.SkippedCycles
+	}
+	b.ReportMetric(replaySpeedup(sim, skipped), "ff-speedup")
 	for i := 0; i < b.N; i++ {
 		_ = c.AVFTable()
 	}
+}
+
+// replaySpeedup is the effective simulation speedup of the checkpoint
+// fast-forward: cycles a full replay would have simulated over cycles
+// actually simulated.
+func replaySpeedup(sim, skipped uint64) float64 {
+	if sim == 0 {
+		return 1
+	}
+	return float64(sim+skipped) / float64(sim)
 }
 
 // ---------------------------------------------------------------------------
@@ -414,8 +430,64 @@ func BenchmarkFig7_TMxMAVF(b *testing.B) {
 				100*t.AVFDUE(), 100*t.MultiShare())
 		}
 	})
+	var sim, skipped uint64
+	for _, res := range c.TMXM {
+		sim += res.SimCycles
+		skipped += res.SkippedCycles
+	}
+	b.ReportMetric(replaySpeedup(sim, skipped), "ff-speedup")
 	for i := 0; i < b.N; i++ {
 		_ = c.TMXM
+	}
+}
+
+// BenchmarkRTLFI_TMxMCampaign measures the wall-clock of one t-MxM
+// campaign with and without the checkpoint fast-forward — the §VI cost
+// argument in miniature. The FullReplay sub-benchmark is the pre-change
+// replay path (every faulty run re-simulates the golden prefix from
+// cycle 0); results are bit-identical between the two.
+func BenchmarkRTLFI_TMxMCampaign(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		noFF bool
+	}{{"FastForward", false}, {"FullReplay", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := rtlfi.RunTMXM(rtlfi.TMXMSpec{
+					Module: faults.ModPipe, Kind: mxm.TileRandom,
+					NumFaults: 400, Seed: 99, NoFastForward: mode.noFF,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.ReportMetric(replaySpeedup(res.SimCycles, res.SkippedCycles), "ff-speedup")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRTLFI_MicroCampaign is the micro-benchmark counterpart.
+func BenchmarkRTLFI_MicroCampaign(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		noFF bool
+	}{{"FastForward", false}, {"FullReplay", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := rtlfi.RunMicro(rtlfi.Spec{
+					Op: isa.OpFFMA, Range: faults.RangeMedium, Module: faults.ModPipe,
+					NumFaults: 1000, Seed: 98, NoFastForward: mode.noFF,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.ReportMetric(replaySpeedup(res.SimCycles, res.SkippedCycles), "ff-speedup")
+				}
+			}
+		})
 	}
 }
 

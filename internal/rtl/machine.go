@@ -78,6 +78,15 @@ type Machine struct {
 	err         error
 	blockDone   bool
 	machineDone bool
+	globalOwned bool // global was allocated by Restore, not passed to Run
+	pruned      bool // last run stopped early on golden reconvergence
+
+	// hiDirty is the per-warp dirty high-water mark: every warp at or
+	// above it is in the canonical empty-warp state resetWarp
+	// establishes. Snapshot and Restore use it to bound how many of the
+	// MaxWarps register-file rows they have to copy — almost always just
+	// the block's live warps.
+	hiDirty int
 }
 
 // New constructs a machine with all module layouts instantiated.
@@ -96,6 +105,10 @@ func New() *Machine {
 	m.nf.init(m.INT.Lay)
 	m.uf.init(m.SFU.Lay)
 	m.cf.init(m.SFUCtl.Lay)
+	// A fresh machine has all-zero predicate files, which is NOT the
+	// canonical empty-warp state (PT reads as all-ones after initBlock);
+	// treat every warp as dirty until the first launch or restore.
+	m.hiDirty = MaxWarps
 	return m
 }
 
@@ -146,6 +159,15 @@ func (m *Machine) Cycles() uint64 { return m.cycle }
 // memory image and per-block shared memory size, until completion, DUE,
 // or the cycle budget expires.
 func (m *Machine) Run(prog *kasm.Program, grid, block int, global []uint32, sharedWords int, maxCycles uint64) error {
+	return m.RunCheckpointed(prog, grid, block, global, sharedWords, maxCycles, 0, nil)
+}
+
+// RunCheckpointed is Run with a checkpoint sink: when every > 0 and sink
+// is non-nil, a Snapshot is captured at every cycle boundary that is a
+// multiple of every (including cycle 0, i.e. the post-launch state) and
+// handed to sink. The snapshots do not perturb execution; resuming any of
+// them with RunFrom replays the remaining cycles bit-identically.
+func (m *Machine) RunCheckpointed(prog *kasm.Program, grid, block int, global []uint32, sharedWords int, maxCycles, every uint64, sink func(*Snapshot)) error {
 	if prog == nil || len(prog.Instrs) == 0 {
 		return fmt.Errorf("%w: empty program", ErrBadLaunch)
 	}
@@ -155,6 +177,7 @@ func (m *Machine) Run(prog *kasm.Program, grid, block int, global []uint32, shar
 	m.prog = prog
 	m.imem = prog.Words
 	m.global = global
+	m.globalOwned = false
 	m.shared = make([]uint32, sharedWords)
 	m.grid, m.block = grid, block
 	m.maxCycles = maxCycles
@@ -170,16 +193,46 @@ func (m *Machine) Run(prog *kasm.Program, grid, block int, global []uint32, shar
 	m.SFU.Reset()
 	m.SFUCtl.Reset()
 
-	for b := 0; b < grid && m.err == nil; b++ {
-		m.curBlock = b
-		m.initBlock()
+	m.curBlock = 0
+	m.initBlock()
+	return m.runLoop(every, sink, nil)
+}
+
+// runLoop resumes execution of the current block and any remaining
+// blocks until completion, DUE, or watchdog expiry. It assumes initBlock
+// has already run for curBlock (Run just did it; RunFrom restored a
+// mid-block state). When golden is non-nil, every checkpoint-aligned
+// cycle boundary after any injected fault has fired is compared against
+// golden(cycle): a bit-identical match proves the rest of the run
+// replays the golden tail, so the loop stops there with pruned set.
+func (m *Machine) runLoop(every uint64, sink func(*Snapshot), golden func(uint64) *Snapshot) error {
+	m.pruned = false
+	for {
 		for !m.blockDone && m.err == nil {
 			if m.cycle >= m.maxCycles {
 				m.err = ErrWatchdog
 				break
 			}
+			if every > 0 && m.cycle%every == 0 {
+				if sink != nil {
+					sink(m.Snapshot())
+				}
+				if golden != nil && (m.fault == nil || m.injected) {
+					if gs := golden(m.cycle); gs != nil && m.matches(gs) {
+						m.pruned = true
+						m.machineDone = true
+						m.fault = nil
+						return nil
+					}
+				}
+			}
 			m.stepCycle()
 		}
+		if m.err != nil || m.curBlock+1 >= m.grid {
+			break
+		}
+		m.curBlock++
+		m.initBlock()
 	}
 	m.machineDone = m.err == nil
 	m.fault = nil
@@ -194,16 +247,7 @@ func (m *Machine) initBlock() {
 		m.shared[i] = 0
 	}
 	for w := 0; w < MaxWarps; w++ {
-		m.stacks[w] = m.stacks[w][:0]
-		for r := range m.regs[w] {
-			for l := range m.regs[w][r] {
-				m.regs[w][r][l] = 0
-			}
-		}
-		for p := range m.preds[w] {
-			m.preds[w][p] = 0
-		}
-		m.preds[w][isa.PT] = 0xFFFFFFFF
+		m.resetWarp(w)
 		if w < m.nwarps {
 			lanesLive := m.block - w*WarpSize
 			mask := uint32(0xFFFFFFFF)
@@ -229,6 +273,29 @@ func (m *Machine) initBlock() {
 	m.Sched.Set(m.sf.barwait, 0)
 	m.Sched.Set(m.sf.rrptr, 0)
 	m.Sched.Set(m.sf.phase, phSched)
+	m.hiDirty = m.nwarps
+}
+
+// resetWarp returns warp w's behavioural memories to the canonical
+// empty-warp state: zero registers, zero predicates with PT reading
+// all-ones, an empty SIMT stack and a zero active mask. initBlock
+// establishes this state for every warp beyond the block, and Restore
+// relies on it for warps above the snapshot's dirty high-water mark.
+func (m *Machine) resetWarp(w int) {
+	m.regs[w] = [isa.NumRegs][WarpSize]uint32{}
+	m.preds[w] = [isa.NumPreds]uint32{}
+	m.preds[w][isa.PT] = 0xFFFFFFFF
+	m.stacks[w] = m.stacks[w][:0]
+	m.warpMask[w] = 0
+}
+
+// markWarp records that warp w's behavioural state may be written this
+// cycle. Fault-corrupted warp indices can point past the block's live
+// warps, so every write path raises the high-water mark.
+func (m *Machine) markWarp(w int) {
+	if w >= m.hiDirty {
+		m.hiDirty = w + 1
+	}
 }
 
 // stepCycle advances the machine one clock cycle, applying any scheduled

@@ -63,6 +63,7 @@ func (m *Machine) phaseSched() {
 // returning false when the warp has fully completed.
 func (m *Machine) resolveWarp(w int) bool {
 	sch := m.Sched
+	m.markWarp(w)
 	for {
 		pc := uint32(sch.Get(m.sf.pc[w]))
 		rc := uint32(sch.Get(m.sf.reconv[w]))
@@ -437,6 +438,7 @@ func (m *Machine) phaseWriteback() {
 	pf, p := &m.pf, m.Pipe
 	if p.Get(pf.wbValid) == 1 {
 		w := int(p.Get(pf.wbWarp)) % MaxWarps
+		m.markWarp(w)
 		dst := isa.Reg(p.Get(pf.wbDst)) % isa.NumRegs
 		mask := uint32(p.Get(pf.wbMask))
 		isPred := p.Get(pf.wbIsPred) == 1
@@ -477,6 +479,7 @@ func (m *Machine) phaseCommit() {
 	pf, p := &m.pf, m.Pipe
 	sch := m.Sched
 	w := int(sch.Get(m.sf.curwarp)) % MaxWarps
+	m.markWarp(w)
 	op := isa.Opcode(p.Get(pf.idOp))
 	pcNext := uint32(p.Get(pf.idPC)) + 1
 

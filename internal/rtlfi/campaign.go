@@ -37,6 +37,12 @@ type Spec struct {
 	Seed      uint64
 	Workers   int // 0 = GOMAXPROCS
 
+	// NoFastForward disables the golden-prefix checkpoint optimisation and
+	// re-simulates every faulty run from cycle 0. Results are bit-identical
+	// either way; the flag exists for regression tests and benchmarks of
+	// the fast-forward path itself.
+	NoFastForward bool
+
 	// Progress, when non-nil, is called after every simulated fault with
 	// the number of completed faults and the campaign total. It is called
 	// concurrently from worker goroutines and calls may arrive with
@@ -44,16 +50,21 @@ type Spec struct {
 	Progress func(done, total int)
 }
 
-// Detailed is the paper's per-SDC detailed report record (§IV-A).
+// Detailed is the paper's per-SDC detailed report record (§IV-A). An SDC
+// found at a thread's output word carries that thread index in Thread
+// (Word = -1); an SDC found only by the fallback scan of the rest of the
+// memory image (e.g. a derailed store) has no corrupted thread output, so
+// Thread is -1 and Word holds the corrupted memory-word index instead.
 type Detailed struct {
-	Fault      rtl.Fault
-	FieldName  string  // flip-flop group hit
-	Thread     int     // first corrupted thread
-	Golden     uint32  // golden output word of that thread
-	Faulty     uint32  // corrupted output word
-	BitsWrong  int     // corrupted bits in that word
-	Threads    int     // number of corrupted threads
-	RelErr     float64 // relative error of the first corrupted output
+	Fault     rtl.Fault
+	FieldName string  // flip-flop group hit
+	Thread    int     // first corrupted thread, or -1 for a memory-scan record
+	Word      int     // corrupted memory-word index for memory-scan records, else -1
+	Golden    uint32  // golden output word of that thread
+	Faulty    uint32  // corrupted output word
+	BitsWrong int     // corrupted bits in that word
+	Threads   int     // number of corrupted threads
+	RelErr    float64 // relative error of the first corrupted output
 }
 
 // Result aggregates one campaign.
@@ -65,6 +76,15 @@ type Result struct {
 	BitsWrong    []int     // corrupted bits per corrupted word
 	Details      []Detailed
 	GoldenCycles uint64
+
+	// SimCycles counts the cycles actually simulated across all faulty
+	// runs; SkippedCycles counts the cycles the fast-forward provably
+	// avoided: golden-prefix cycles restored from a checkpoint, plus
+	// golden-tail cycles pruned when a masked run reconverged with the
+	// golden state. (SimCycles+SkippedCycles)/SimCycles is the effective
+	// replay speedup of the campaign.
+	SimCycles     uint64
+	SkippedCycles uint64
 }
 
 // run describes one prepared input draw.
@@ -72,6 +92,7 @@ type inputDraw struct {
 	global       []uint32
 	golden       []uint32
 	goldenCycles uint64
+	ckpts        ckptStore
 }
 
 // RunMicro executes a micro-benchmark fault-injection campaign. The fault
@@ -95,7 +116,10 @@ func RunMicroCtx(ctx context.Context, spec Spec) (*Result, error) {
 	}
 	rng := stats.NewRNG(spec.Seed)
 
-	// Golden runs, one per input draw.
+	// Golden runs, one per input draw; a second, bit-identical replay of
+	// each records the fast-forward checkpoints. Neither pass touches rng
+	// beyond the input draw itself, so the fault list below sees the same
+	// stream as before the optimisation.
 	draws := make([]inputDraw, valuesPerRange)
 	m := rtl.New()
 	for i := range draws {
@@ -105,6 +129,16 @@ func RunMicroCtx(ctx context.Context, spec Spec) (*Result, error) {
 			return nil, fmt.Errorf("rtlfi: golden run failed: %w", err)
 		}
 		draws[i] = inputDraw{global: g, golden: golden, goldenCycles: m.Cycles()}
+	}
+	if !spec.NoFastForward {
+		for i := range draws {
+			d := &draws[i]
+			cs, err := recordCheckpoints(m, prog, MicroThreads, d.global, 0, d.goldenCycles)
+			if err != nil {
+				return nil, err
+			}
+			d.ckpts = cs
+		}
 	}
 
 	// Deterministic fault list.
@@ -145,20 +179,42 @@ func RunMicroCtx(ctx context.Context, spec Spec) (*Result, error) {
 				}
 				j := jobs[i]
 				d := &draws[j.draw]
-				g := append([]uint32(nil), d.global...)
+				budget := d.goldenCycles*watchdogFactor + 1000
 				machine.Inject(j.fault)
-				err := machine.Run(prog, 1, MicroThreads, g, 0,
-					d.goldenCycles*watchdogFactor+1000)
+				var g []uint32
+				var err error
+				if snap := d.ckpts.before(j.fault.Cycle); snap != nil {
+					var pruned bool
+					pruned, err = machine.RunFromPruned(snap, budget, d.ckpts.every, d.ckpts.at)
+					res.SimCycles += machine.Cycles() - snap.Cycle()
+					if pruned {
+						// The run reconverged with the golden state, so
+						// its tail provably replays the golden run:
+						// classify against the golden image directly.
+						g = d.golden
+						res.SkippedCycles += snap.Cycle() + d.goldenCycles - machine.Cycles()
+					} else {
+						g = machine.Global()
+						res.SkippedCycles += snap.Cycle()
+					}
+				} else {
+					g = append([]uint32(nil), d.global...)
+					err = machine.Run(prog, 1, MicroThreads, g, 0, budget)
+					res.SimCycles += machine.Cycles()
+				}
 				classify(res, spec.Op, j.fault, machine, g, d.golden, err)
+				done := int(completed.Add(1))
 				if spec.Progress != nil {
-					spec.Progress(int(completed.Add(1)), len(jobs))
+					spec.Progress(done, len(jobs))
 				}
 			}
 			partials[w] = res
 		}(w)
 	}
 	wg.Wait()
-	if err := ctx.Err(); err != nil {
+	// Cancellation that lands after the last job finished does not void
+	// the campaign: every fault was simulated, so return the result.
+	if err := ctx.Err(); err != nil && int(completed.Load()) != len(jobs) {
 		return nil, err
 	}
 
@@ -169,6 +225,8 @@ func RunMicroCtx(ctx context.Context, spec Spec) (*Result, error) {
 		out.ThreadCounts = append(out.ThreadCounts, p.ThreadCounts...)
 		out.BitsWrong = append(out.BitsWrong, p.BitsWrong...)
 		out.Details = append(out.Details, p.Details...)
+		out.SimCycles += p.SimCycles
+		out.SkippedCycles += p.SkippedCycles
 	}
 	return out, nil
 }
@@ -182,7 +240,7 @@ func classify(res *Result, op isa.Opcode, fault rtl.Fault, machine *rtl.Machine,
 	}
 	isFloat := op.IsFloat()
 	corrupted := 0
-	first := -1
+	first, firstWord := -1, -1
 	var firstGold, firstFaulty uint32
 	for _, off := range outputOffsets(op) {
 		for t := 0; t < MicroThreads; t++ {
@@ -199,13 +257,16 @@ func classify(res *Result, op isa.Opcode, fault rtl.Fault, machine *rtl.Machine,
 		}
 	}
 	// Also scan input regions: a fault that corrupts memory outside the
-	// output area (e.g. a derailed store) is an SDC too.
+	// output area (e.g. a derailed store) is an SDC too. These records
+	// identify a memory word, not a thread: Thread stays -1 so the §V-B
+	// multiplicity/spatial analyses never mistake a word index for a
+	// thread index.
 	if corrupted == 0 {
 		for i := range golden {
 			if golden[i] != g[i] {
 				corrupted++
-				if first < 0 {
-					first, firstGold, firstFaulty = i, golden[i], g[i]
+				if firstWord < 0 {
+					firstWord, firstGold, firstFaulty = i, golden[i], g[i]
 				}
 				res.Syndromes = append(res.Syndromes, relErrWord(golden[i], g[i], isFloat))
 				res.BitsWrong = append(res.BitsWrong, bits.OnesCount32(golden[i]^g[i]))
@@ -222,6 +283,7 @@ func classify(res *Result, op isa.Opcode, fault rtl.Fault, machine *rtl.Machine,
 		Fault:     fault,
 		FieldName: machine.ModuleState(fault.Module).Lay.FieldAt(fault.Bit).Name,
 		Thread:    first,
+		Word:      firstWord,
 		Golden:    firstGold,
 		Faulty:    firstFaulty,
 		BitsWrong: bits.OnesCount32(firstGold ^ firstFaulty),

@@ -26,10 +26,13 @@ func (r *Result) WriteGeneralReport(w io.Writer) error {
 	return err
 }
 
-// DetailedHeader is the CSV header of the detailed report.
+// DetailedHeader is the CSV header of the detailed report. Exactly one
+// of thread and word is -1 per record: thread identifies the first
+// corrupted thread output, word the first corrupted memory word when the
+// corruption was found only by the fallback memory scan.
 var DetailedHeader = []string{
 	"op", "range", "module", "field", "bit", "cycle",
-	"thread", "golden", "faulty", "bits_wrong", "threads", "rel_err",
+	"thread", "word", "golden", "faulty", "bits_wrong", "threads", "rel_err",
 }
 
 // WriteDetailedReport writes every SDC's detailed record as CSV.
@@ -47,6 +50,7 @@ func (r *Result) WriteDetailedReport(w io.Writer) error {
 			strconv.Itoa(d.Fault.Bit),
 			strconv.FormatUint(d.Fault.Cycle, 10),
 			strconv.Itoa(d.Thread),
+			strconv.Itoa(d.Word),
 			fmt.Sprintf("%#08x", d.Golden),
 			fmt.Sprintf("%#08x", d.Faulty),
 			strconv.Itoa(d.BitsWrong),

@@ -25,6 +25,10 @@ type TMXMSpec struct {
 	Seed      uint64
 	Workers   int
 
+	// NoFastForward disables the golden-prefix checkpoint optimisation;
+	// see Spec.NoFastForward.
+	NoFastForward bool
+
 	// Progress, when non-nil, is called after every simulated fault; see
 	// Spec.Progress for the concurrency contract.
 	Progress func(done, total int)
@@ -39,6 +43,10 @@ type TMXMResult struct {
 	Patterns    [faults.NumPatterns]int
 	PatternErrs map[faults.Pattern][]float64
 	GoldenCycles uint64
+
+	// SimCycles / SkippedCycles: see Result.
+	SimCycles     uint64
+	SkippedCycles uint64
 }
 
 // PatternShare returns the share of multi-element SDCs classified as p,
@@ -78,6 +86,7 @@ func RunTMXMCtx(ctx context.Context, spec TMXMSpec) (*TMXMResult, error) {
 		global       []uint32
 		goldenC      []float32
 		goldenCycles uint64
+		ckpts        ckptStore
 	}
 	draws := make([]draw, valuesPerRange)
 	m := rtl.New()
@@ -92,6 +101,16 @@ func RunTMXMCtx(ctx context.Context, spec TMXMSpec) (*TMXMResult, error) {
 			global:       g,
 			goldenC:      mxm.ExtractC(golden, mxm.Tile),
 			goldenCycles: m.Cycles(),
+		}
+	}
+	if !spec.NoFastForward {
+		for i := range draws {
+			d := &draws[i]
+			cs, err := recordCheckpoints(m, prog, mxm.BlockThreads, d.global, mxm.SharedWords, d.goldenCycles)
+			if err != nil {
+				return nil, err
+			}
+			d.ckpts = cs
 		}
 	}
 
@@ -128,10 +147,29 @@ func RunTMXMCtx(ctx context.Context, spec TMXMSpec) (*TMXMResult, error) {
 			machine := rtl.New()
 			simulate := func(j job) {
 				d := &draws[j.draw]
-				g := append([]uint32(nil), d.global...)
+				budget := d.goldenCycles*watchdogFactor + 1000
 				machine.Inject(j.fault)
-				err := machine.Run(prog, 1, mxm.BlockThreads, g, mxm.SharedWords,
-					d.goldenCycles*watchdogFactor+1000)
+				var g []uint32
+				var err error
+				if snap := d.ckpts.before(j.fault.Cycle); snap != nil {
+					var pruned bool
+					pruned, err = machine.RunFromPruned(snap, budget, d.ckpts.every, d.ckpts.at)
+					res.SimCycles += machine.Cycles() - snap.Cycle()
+					if pruned {
+						// Reconverged with the golden state: the tail
+						// provably replays the golden run, so the
+						// outcome is Masked with the golden outputs.
+						res.SkippedCycles += snap.Cycle() + d.goldenCycles - machine.Cycles()
+						res.Tally.Add(faults.Masked, 0)
+						return
+					}
+					g = machine.Global()
+					res.SkippedCycles += snap.Cycle()
+				} else {
+					g = append([]uint32(nil), d.global...)
+					err = machine.Run(prog, 1, mxm.BlockThreads, g, mxm.SharedWords, budget)
+					res.SimCycles += machine.Cycles()
+				}
 				if err != nil {
 					res.Tally.Add(faults.DUE, 0)
 					return
@@ -158,15 +196,18 @@ func RunTMXMCtx(ctx context.Context, spec TMXMSpec) (*TMXMResult, error) {
 					break
 				}
 				simulate(jobs[i])
+				done := int(completed.Add(1))
 				if spec.Progress != nil {
-					spec.Progress(int(completed.Add(1)), len(jobs))
+					spec.Progress(done, len(jobs))
 				}
 			}
 			partials[w] = res
 		}(w)
 	}
 	wg.Wait()
-	if err := ctx.Err(); err != nil {
+	// Cancellation that lands after the last job finished does not void
+	// the campaign: every fault was simulated, so return the result.
+	if err := ctx.Err(); err != nil && int(completed.Load()) != len(jobs) {
 		return nil, err
 	}
 
@@ -179,6 +220,8 @@ func RunTMXMCtx(ctx context.Context, spec TMXMSpec) (*TMXMResult, error) {
 		for pat, errs := range p.PatternErrs {
 			out.PatternErrs[pat] = append(out.PatternErrs[pat], errs...)
 		}
+		out.SimCycles += p.SimCycles
+		out.SkippedCycles += p.SkippedCycles
 	}
 	return out, nil
 }

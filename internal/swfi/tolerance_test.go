@@ -1,0 +1,37 @@
+package swfi
+
+import (
+	"math"
+	"testing"
+)
+
+func TestOutputsMatchSpecialValuesSymmetric(t *testing.T) {
+	inf := math.Float32bits(float32(math.Inf(1)))
+	ninf := math.Float32bits(float32(math.Inf(-1)))
+	nan := math.Float32bits(float32(math.NaN()))
+	big := math.Float32bits(3.0e38)
+	one := math.Float32bits(1.0)
+
+	cases := []struct {
+		name        string
+		golden, out uint32
+		tol         float64
+		want        bool
+	}{
+		// The regression: an Inf golden against a large finite output used
+		// to slip through the relative-error formula with an Inf bound.
+		{"inf golden vs finite", inf, big, 1e-3, false},
+		{"neg-inf golden vs finite", ninf, big, 1e-3, false},
+		{"finite golden vs inf", big, inf, 1e-3, false},
+		{"nan golden vs finite", nan, one, 1e-3, false},
+		{"inf golden vs inf (bitwise)", inf, inf, 1e-3, true},
+		{"inf golden vs neg-inf", inf, ninf, 1e-3, false},
+		{"finite within tolerance", one, math.Float32bits(1.0 + 1e-6), 1e-3, true},
+		{"finite outside tolerance", one, math.Float32bits(1.5), 1e-3, false},
+	}
+	for _, c := range cases {
+		if got := outputsMatch([]uint32{c.golden}, []uint32{c.out}, c.tol); got != c.want {
+			t.Errorf("%s: outputsMatch = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
