@@ -468,6 +468,59 @@ func BenchmarkRTLFI_TMxMCampaign(b *testing.B) {
 	}
 }
 
+// BenchmarkSWFI_HPCCampaign measures the wall-clock of one software
+// injection campaign with and without the golden-prefix checkpoint
+// fast-forward. The FullReplay sub-benchmark is the pre-change path (every
+// injection run re-simulates from dynamic instruction zero with hooks
+// armed throughout); results are bit-identical between the two
+// (internal/swfi/fastforward_test.go).
+func BenchmarkSWFI_HPCCampaign(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		noFF bool
+	}{{"FastForward", false}, {"FullReplay", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := RunCampaign(Campaign{
+					Workload: apps.NewHotspot(16, 8), Model: ModelBitFlip,
+					Injections: 200, Seed: 97, NoFastForward: mode.noFF,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.ReportMetric(replaySpeedup(res.SimInstrs, res.SkippedInstrs), "ff-speedup")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSWFI_CNNCampaign is the CNN counterpart (instruction-level
+// bit-flip model on LeNetLite).
+func BenchmarkSWFI_CNNCampaign(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		noFF bool
+	}{{"FastForward", false}, {"FullReplay", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := RunCNNCampaign(CNNCampaign{
+					Net: cnn.NewLeNetLite(), Input: cnn.LeNetInput(0),
+					Model: swfi.CNNBitFlip, Injections: 200, Seed: 96,
+					Critical: swfi.LeNetCritical, NoFastForward: mode.noFF,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.ReportMetric(replaySpeedup(res.SimInstrs, res.SkippedInstrs), "ff-speedup")
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkRTLFI_MicroCampaign is the micro-benchmark counterpart.
 func BenchmarkRTLFI_MicroCampaign(b *testing.B) {
 	for _, mode := range []struct {

@@ -6,6 +6,7 @@
 //
 //	gpufi-rtl [-faults N] [-tmxm N] [-seed S] [-out db.json]
 //	          [-op FADD] [-range M] [-module FP32] [-v]
+//	          [-cpuprofile cpu.out] [-memprofile mem.out]
 //
 // Without -op the full characterisation runs: every characterised opcode x
 // input range x exercised module, plus the t-MxM campaigns.
@@ -21,6 +22,8 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"sync/atomic"
 	"syscall"
 
@@ -36,17 +39,25 @@ func main() {
 	log.SetPrefix("gpufi-rtl: ")
 
 	var (
-		nFaults = flag.Int("faults", 2000, "faults per campaign")
-		nTMXM   = flag.Int("tmxm", 0, "faults per t-MxM campaign (default: -faults)")
-		seed    = flag.Uint64("seed", 2021, "campaign seed")
-		out     = flag.String("out", "syndromes.json", "output database path")
-		opName  = flag.String("op", "", "single opcode to characterise (e.g. FFMA)")
-		rngName = flag.String("range", "M", "input range for -op (S, M, L)")
-		modName = flag.String("module", "FP32", "module for -op (FP32, INT, SFU, SFUctl, Scheduler, Pipeline)")
-		verbose = flag.Bool("v", false, "print per-campaign summaries")
+		nFaults    = flag.Int("faults", 2000, "faults per campaign")
+		nTMXM      = flag.Int("tmxm", 0, "faults per t-MxM campaign (default: -faults)")
+		seed       = flag.Uint64("seed", 2021, "campaign seed")
+		out        = flag.String("out", "syndromes.json", "output database path")
+		opName     = flag.String("op", "", "single opcode to characterise (e.g. FFMA)")
+		rngName    = flag.String("range", "M", "input range for -op (S, M, L)")
+		modName    = flag.String("module", "FP32", "module for -op (FP32, INT, SFU, SFUctl, Scheduler, Pipeline)")
+		verbose    = flag.Bool("v", false, "print per-campaign summaries")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this path")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this path on exit")
 	)
 	detailedPath = flag.String("detailed", "", "write the single-campaign detailed report (CSV) to this path")
 	flag.Parse()
+
+	stopProf, err := startProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stopProf()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -155,10 +166,44 @@ func runSingle(ctx context.Context, opName, rngName, modName string, nFaults int
 		}
 		log.Printf("wrote detailed report to %s (%d SDC records)", *detailedPath, len(res.Details))
 	}
-	os.Exit(0)
 }
 
 var detailedPath *string
+
+// startProfiles starts a CPU profile and/or schedules a heap profile; the
+// returned stop function finalises both and must run before exit.
+func startProfiles(cpu, mem string) (func(), error) {
+	var cpuFile *os.File
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		cpuFile = f
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if mem != "" {
+			f, err := os.Create(mem)
+			if err != nil {
+				log.Print(err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialise the retained-heap picture
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Print(err)
+			}
+		}
+	}, nil
+}
 
 func parseOp(s string) (isa.Opcode, bool) {
 	for _, op := range isa.CharacterizedOpcodes() {

@@ -6,9 +6,13 @@
 //
 //	gpufi-sw [-app MxM|Lava|Quicksort|Hotspot|LUD|Gaussian|LeNet|Yolo]
 //	         [-model bitflip|bitflip2|syndrome|tile] [-db syndromes.json]
-//	         [-n 1000] [-seed S]
+//	         [-n 1000] [-seed S] [-no-fast-forward]
+//	         [-cpuprofile cpu.out] [-memprofile mem.out]
 //
 // Without -app, all six HPC applications run under the chosen model.
+// -no-fast-forward disables the golden-prefix checkpoint optimisation and
+// re-simulates every injection run from instruction zero; results are
+// bit-identical either way.
 //
 // SIGINT cancels the campaign at the next injection boundary and prints
 // how many injections completed before the interrupt.
@@ -21,6 +25,8 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"sync/atomic"
 	"syscall"
 
@@ -33,13 +39,22 @@ func main() {
 	log.SetPrefix("gpufi-sw: ")
 
 	var (
-		appName = flag.String("app", "", "application (default: all six HPC apps)")
-		model   = flag.String("model", "bitflip", "fault model: bitflip, bitflip2, syndrome, tile")
-		dbPath  = flag.String("db", "", "syndrome database (required for syndrome/tile)")
-		n       = flag.Int("n", 1000, "injections per campaign")
-		seed    = flag.Uint64("seed", 7, "campaign seed")
+		appName    = flag.String("app", "", "application (default: all six HPC apps)")
+		model      = flag.String("model", "bitflip", "fault model: bitflip, bitflip2, syndrome, tile")
+		dbPath     = flag.String("db", "", "syndrome database (required for syndrome/tile)")
+		n          = flag.Int("n", 1000, "injections per campaign")
+		seed       = flag.Uint64("seed", 7, "campaign seed")
+		noFF       = flag.Bool("no-fast-forward", false, "replay every injection run in full instead of restoring golden-prefix checkpoints")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this path")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this path on exit")
 	)
 	flag.Parse()
+
+	stopProf, err := startProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stopProf()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -54,7 +69,7 @@ func main() {
 
 	switch *appName {
 	case "LeNet", "Yolo":
-		runCNN(ctx, *appName, *model, db, *n, *seed)
+		runCNN(ctx, *appName, *model, db, *n, *seed, *noFF)
 		return
 	}
 
@@ -81,7 +96,8 @@ func main() {
 		var done atomic.Int64
 		res, err := gpufi.RunCampaignCtx(ctx, gpufi.Campaign{
 			Workload: w, Model: fm, DB: db, Injections: *n, Seed: *seed,
-			Progress: func(d, t int) { progressMax(&done, int64(d)) },
+			NoFastForward: *noFF,
+			Progress:      func(d, t int) { progressMax(&done, int64(d)) },
 		})
 		if err != nil {
 			if ctx.Err() != nil {
@@ -97,6 +113,41 @@ func main() {
 	}
 }
 
+// startProfiles starts CPU profiling and arranges a heap profile, both
+// optional; the returned stop function must run before the process exits.
+func startProfiles(cpu, mem string) (func(), error) {
+	var cpuFile *os.File
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		cpuFile = f
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if mem != "" {
+			f, err := os.Create(mem)
+			if err != nil {
+				log.Print(err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialise the retained-heap picture
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Print(err)
+			}
+		}
+	}, nil
+}
+
 // progressMax raises *v to at least n (progress callbacks may arrive out
 // of order across engine workers).
 func progressMax(v *atomic.Int64, n int64) {
@@ -108,7 +159,7 @@ func progressMax(v *atomic.Int64, n int64) {
 	}
 }
 
-func runCNN(ctx context.Context, name, model string, db *gpufi.DB, n int, seed uint64) {
+func runCNN(ctx context.Context, name, model string, db *gpufi.DB, n int, seed uint64, noFF bool) {
 	var (
 		net      *gpufi.Network
 		input    []float32
@@ -137,7 +188,8 @@ func runCNN(ctx context.Context, name, model string, db *gpufi.DB, n int, seed u
 	res, err := gpufi.RunCNNCampaignCtx(ctx, gpufi.CNNCampaign{
 		Net: net, Input: input, Model: cm, DB: db,
 		Injections: n, Seed: seed, Critical: critical,
-		Progress: func(d, t int) { progressMax(&done, int64(d)) },
+		NoFastForward: noFF,
+		Progress:      func(d, t int) { progressMax(&done, int64(d)) },
 	})
 	if err != nil {
 		if ctx.Err() != nil {

@@ -16,8 +16,14 @@ import (
 	"math"
 
 	"gpufi/internal/emu"
+	"gpufi/internal/replay"
 	"gpufi/internal/stats"
 )
+
+// Runner executes a workload's launches; see replay.Runner. Applications
+// are written against it so the same host code runs directly, records a
+// fast-forward trace, or replays from checkpoints.
+type Runner = replay.Runner
 
 // Workload is one injectable application.
 type Workload struct {
@@ -25,10 +31,31 @@ type Workload struct {
 	Domain string
 	Size   string
 
-	// Execute runs the complete application with the hooks installed on
-	// every kernel launch and returns the words of the output region the
-	// golden comparison covers.
-	Execute func(hooks emu.Hooks) ([]uint32, error)
+	// PureHost declares that the host code between kernel launches is a
+	// pure function of (arena contents, launch ordinal) — no host state
+	// derived from mid-run arena reads survives across launches. The
+	// fault injector's replay layer only attempts golden-reconvergence
+	// skipping on workloads that declare it; leaving it false is always
+	// safe, merely slower.
+	PureHost bool
+
+	// run executes the complete application on a Runner and returns the
+	// words of the output region the golden comparison covers.
+	run func(rt Runner) ([]uint32, error)
+}
+
+// Execute runs the complete application with the hooks installed on every
+// kernel launch and returns the words of the output region the golden
+// comparison covers.
+func (w *Workload) Execute(hooks emu.Hooks) ([]uint32, error) {
+	return w.run(&replay.Plain{Hooks: hooks})
+}
+
+// ExecuteWith runs the application on an explicit Runner — a
+// replay.Recorder to capture a fast-forward trace, or a replay.Player to
+// fast-forward an injection run.
+func (w *Workload) ExecuteWith(rt Runner) ([]uint32, error) {
+	return w.run(rt)
 }
 
 // Suite returns the paper's six HPC applications (Table III order) at the
@@ -65,8 +92,8 @@ func PresetSuite() []*Workload {
 // larger derailments fault, as on hardware.
 const ArenaSlack = 1 << 16
 
-// arena allocates a padded global-memory image.
-func arena(words int) []uint32 { return make([]uint32, words+ArenaSlack) }
+// arena allocates a padded global-memory image through the Runner.
+func arena(rt Runner, words int) []uint32 { return rt.Arena(words + ArenaSlack) }
 
 // f32 packs a float32 into a memory word.
 func f32(v float32) uint32 { return math.Float32bits(v) }
@@ -87,12 +114,6 @@ func copyOut(g []uint32, off, n int) []uint32 {
 	out := make([]uint32, n)
 	copy(out, g[off:off+n])
 	return out
-}
-
-// launch wraps emu.Run discarding the result counters.
-func launch(l *emu.Launch) error {
-	_, err := emu.Run(l)
-	return err
 }
 
 // sizeStr formats an n x n size.

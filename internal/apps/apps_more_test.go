@@ -157,7 +157,7 @@ func TestPresetSuiteConstructs(t *testing.T) {
 		t.Fatalf("preset suite = %d apps", len(suite))
 	}
 	for _, w := range suite {
-		if w.Execute == nil {
+		if w.run == nil {
 			t.Errorf("%s has no executor", w.Name)
 		}
 	}

@@ -124,11 +124,12 @@ func NewGaussian(n int) *Workload {
 	}
 	words := n*n + 2*n + 1
 	return &Workload{
-		Name:   "Gaussian",
-		Domain: "Linear algebra",
-		Size:   sizeStr(n),
-		Execute: func(hooks emu.Hooks) ([]uint32, error) {
-			g := arena(words)
+		Name:     "Gaussian",
+		Domain:   "Linear algebra",
+		Size:     sizeStr(n),
+		PureHost: true, // host only writes the step counter slot between launches
+		run: func(rt Runner) ([]uint32, error) {
+			g := arena(rt, words)
 			fillMatrix(g[:n*n], n*n, 0xC001, 1, 4) // diagonally-safe random system
 			// Strengthen the diagonal so elimination is well-conditioned.
 			for i := 0; i < n; i++ {
@@ -140,15 +141,15 @@ func NewGaussian(n int) *Workload {
 				// Shrinking grids per step, as Rodinia's host code sizes
 				// Fan1/Fan2 to the remaining submatrix.
 				rows := n - k - 1
-				if err := launch(&emu.Launch{
+				if err := rt.Launch(&emu.Launch{
 					Prog: fan1, Grid: (rows + block - 1) / block, Block: block,
-					Global: g, Hooks: hooks,
+					Global: g,
 				}); err != nil {
 					return nil, err
 				}
-				if err := launch(&emu.Launch{
+				if err := rt.Launch(&emu.Launch{
 					Prog: fan2, Grid: (rows*n + block - 1) / block, Block: block,
-					Global: g, Hooks: hooks,
+					Global: g,
 				}); err != nil {
 					return nil, err
 				}

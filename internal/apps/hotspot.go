@@ -204,17 +204,18 @@ func NewHotspot(n, iters int) *Workload {
 	prog := buildHotspot(n)
 	grid := (n / hsCore) * (n / hsCore)
 	return &Workload{
-		Name:   "Hotspot",
-		Domain: "Physics simulation",
-		Size:   sizeStr(n),
-		Execute: func(hooks emu.Hooks) ([]uint32, error) {
-			g := arena(3 * n * n)
+		Name:     "Hotspot",
+		Domain:   "Physics simulation",
+		Size:     sizeStr(n),
+		PureHost: true, // inter-iteration ping-pong copy is arena-to-arena, no host state
+		run: func(rt Runner) ([]uint32, error) {
+			g := arena(rt, 3 * n * n)
 			fillMatrix(g[:n*n], n*n, 0xB001, 20, 80)      // temperatures
 			fillMatrix(g[n*n:2*n*n], n*n, 0xB002, 0, 0.5) // power map
 			for it := 0; it < iters; it++ {
-				if err := launch(&emu.Launch{
+				if err := rt.Launch(&emu.Launch{
 					Prog: prog, Grid: grid, Block: hsBlock,
-					Global: g, SharedWords: hsBlock, Hooks: hooks,
+					Global: g, SharedWords: hsBlock,
 				}); err != nil {
 					return nil, err
 				}

@@ -104,18 +104,19 @@ func NewLava(boxes, perBox int) *Workload {
 		block = n
 	}
 	return &Workload{
-		Name:   "Lava",
-		Domain: "Particle simulation",
-		Size:   "2 3D boxes",
-		Execute: func(hooks emu.Hooks) ([]uint32, error) {
-			g := arena(8 * n)
+		Name:     "Lava",
+		Domain:   "Particle simulation",
+		Size:     "2 3D boxes",
+		PureHost: true, // single launch; host only fills inputs up front
+		run: func(rt Runner) ([]uint32, error) {
+			g := arena(rt, 8*n)
 			fillMatrix(g[:n], n, 0xE001, -1.5, 1.5)      // x
 			fillMatrix(g[n:2*n], n, 0xE002, -1.5, 1.5)   // y
 			fillMatrix(g[2*n:3*n], n, 0xE003, -1.5, 1.5) // z
 			fillMatrix(g[3*n:4*n], n, 0xE004, 0.1, 1)    // q
-			if err := launch(&emu.Launch{
+			if err := rt.Launch(&emu.Launch{
 				Prog: prog, Grid: (n + block - 1) / block, Block: block,
-				Global: g, Hooks: hooks,
+				Global: g,
 			}); err != nil {
 				return nil, err
 			}

@@ -204,19 +204,20 @@ func buildLUDInternal(n, kb, ib, jb int) *kasm.Program {
 func NewLUD(n int) *Workload {
 	nb := n / ludBS
 	return &Workload{
-		Name:   "LUD",
-		Domain: "Linear algebra",
-		Size:   sizeStr(n),
-		Execute: func(hooks emu.Hooks) ([]uint32, error) {
-			g := arena(n * n)
+		Name:     "LUD",
+		Domain:   "Linear algebra",
+		Size:     sizeStr(n),
+		PureHost: true, // launch schedule is a fixed function of n; arena reads only at init
+		run: func(rt Runner) ([]uint32, error) {
+			g := arena(rt, n*n)
 			fillMatrix(g[:n*n], n*n, 0xD001, -1, 1)
 			for i := 0; i < n; i++ {
 				g[i*n+i] = f32(fromBits(g[i*n+i]) + float32(n)) // diagonal dominance
 			}
 			run := func(p *kasm.Program) error {
-				return launch(&emu.Launch{
+				return rt.Launch(&emu.Launch{
 					Prog: p, Grid: 1, Block: ludBS * ludBS,
-					Global: g, SharedWords: 2 * ludBS * ludBS, Hooks: hooks,
+					Global: g, SharedWords: 2 * ludBS * ludBS,
 				})
 			}
 			for kb := 0; kb < nb; kb++ {

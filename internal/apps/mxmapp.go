@@ -13,16 +13,17 @@ func NewMxM(n int) *Workload {
 		panic(err) // n is a compile-time choice in the suite
 	}
 	return &Workload{
-		Name:   "MxM",
-		Domain: "Linear algebra",
-		Size:   sizeStr(n),
-		Execute: func(hooks emu.Hooks) ([]uint32, error) {
-			g := arena(mxm.GlobalWords(n))
+		Name:     "MxM",
+		Domain:   "Linear algebra",
+		Size:     sizeStr(n),
+		PureHost: true, // single launch; host only fills inputs up front
+		run: func(rt Runner) ([]uint32, error) {
+			g := arena(rt, mxm.GlobalWords(n))
 			fillMatrix(g[:n*n], n*n, 0xA001, -2, 2)
 			fillMatrix(g[n*n:2*n*n], n*n, 0xA002, -2, 2)
-			err := launch(&emu.Launch{
+			err := rt.Launch(&emu.Launch{
 				Prog: prog, Grid: mxm.Grid(n), Block: mxm.BlockThreads,
-				Global: g, SharedWords: mxm.SharedWords, Hooks: hooks,
+				Global: g, SharedWords: mxm.SharedWords,
 			})
 			if err != nil {
 				return nil, err

@@ -159,11 +159,15 @@ func NewQuicksort(n int) *Workload {
 	}
 	words := n + qpWords
 	return &Workload{
+		// PureHost stays false: the host recursion stack is driven by
+		// median-of-three pivots and partition totals read back from the
+		// arena mid-run, so a corrupted run's host state can diverge from
+		// the golden run's even after the arena reconverges.
 		Name:   "Quicksort",
 		Domain: "Sorting",
 		Size:   fmt.Sprintf("%d keys", n),
-		Execute: func(hooks emu.Hooks) ([]uint32, error) {
-			g := arena(words)
+		run: func(rt Runner) ([]uint32, error) {
+			g := arena(rt, words)
 			fillMatrix(g[:n], n, 0xF001, -1000, 1000)
 			type seg struct{ lo, len int }
 			stack := []seg{{0, n}}
@@ -185,9 +189,9 @@ func NewQuicksort(n int) *Workload {
 						buildLeafPass(s.lo, s.len, 1),
 					}
 					for pass := 0; pass < s.len; pass++ {
-						if err := launch(&emu.Launch{
+						if err := rt.Launch(&emu.Launch{
 							Prog: leafPass[pass&1], Grid: 1, Block: lb,
-							Global: g, Hooks: hooks,
+							Global: g,
 						}); err != nil {
 							return nil, err
 						}
@@ -202,9 +206,9 @@ func NewQuicksort(n int) *Workload {
 				pivot := medianOf3(a, b, c)
 				pb := pow2ceil(s.len)
 				partLT := buildPartition(n, pb, false, s.lo, s.len, f32(pivot))
-				if err := launch(&emu.Launch{
+				if err := rt.Launch(&emu.Launch{
 					Prog: partLT, Grid: 1, Block: pb,
-					Global: g, SharedWords: pb, Hooks: hooks,
+					Global: g, SharedWords: pb,
 				}); err != nil {
 					return nil, err
 				}
@@ -218,9 +222,9 @@ func NewQuicksort(n int) *Workload {
 				if totalL == 0 {
 					// Pivot is the minimum: peel off the equal class.
 					partLE := buildPartition(n, pb, true, s.lo, s.len, f32(pivot))
-					if err := launch(&emu.Launch{
+					if err := rt.Launch(&emu.Launch{
 						Prog: partLE, Grid: 1, Block: pb,
-						Global: g, SharedWords: pb, Hooks: hooks,
+						Global: g, SharedWords: pb,
 					}); err != nil {
 						return nil, err
 					}

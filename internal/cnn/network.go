@@ -7,20 +7,21 @@ import (
 	"gpufi/internal/emu"
 	"gpufi/internal/kasm"
 	"gpufi/internal/mxm"
+	"gpufi/internal/replay"
 	"gpufi/internal/stats"
 	"gpufi/internal/syndrome"
 )
 
 // Layer is one network stage with its kernel and memory map.
 type Layer struct {
-	Name    string
-	Prog    *kasm.Program
-	Grid    int
-	Block   int
-	OutOff  int // word offset of the layer's output feature map
-	OutC    int
-	OutH    int
-	OutW    int
+	Name   string
+	Prog   *kasm.Program
+	Grid   int
+	Block  int
+	OutOff int // word offset of the layer's output feature map
+	OutC   int
+	OutH   int
+	OutW   int
 }
 
 // OutWords returns the size of the layer's output.
@@ -46,6 +47,10 @@ func (n *Network) InputWords() int { return n.inWords }
 // OutputWords returns the network output size.
 func (n *Network) OutputWords() int { return n.outN }
 
+// OutputRegion returns the arena region the host reads after the last
+// launch — the seed for replay live-in analysis.
+func (n *Network) OutputRegion() (off, words int) { return n.outOff, n.outN }
+
 // TileInjection corrupts an 8x8 tile of one layer's output feature map
 // after that layer completes — the software realisation of the t-MxM RTL
 // fault model (§IV-B: "The fault injector picks a random tile during the
@@ -65,19 +70,28 @@ type TileInjection struct {
 // The returned slice holds the network's raw output (logits or detection
 // maps).
 func (n *Network) Run(input []float32, hooks emu.Hooks, inj *TileInjection) ([]float32, error) {
+	return n.RunWith(&replay.Plain{Hooks: hooks}, input, inj)
+}
+
+// RunWith is Run on an explicit launch runner — a replay.Recorder to
+// capture a fast-forward trace, or a replay.Player to fast-forward an
+// injection run. The tile corruption is applied by host code between
+// launches, so a Player that skips all pre-injection layers via recorded
+// write-sets reproduces a full run bit-identically.
+func (n *Network) RunWith(rt replay.Runner, input []float32, inj *TileInjection) ([]float32, error) {
 	if len(input) != n.inWords {
 		return nil, fmt.Errorf("cnn %s: input %d words, want %d", n.Name, len(input), n.inWords)
 	}
-	g := make([]uint32, n.Words)
+	g := rt.Arena(n.Words)
 	for i, v := range input {
 		g[n.inOff+i] = math.Float32bits(v)
 	}
 	copy(g[n.wBase:], n.weights)
 	for li := range n.Layers {
 		l := &n.Layers[li]
-		if _, err := emu.Run(&emu.Launch{
+		if err := rt.Launch(&emu.Launch{
 			Prog: l.Prog, Grid: l.Grid, Block: l.Block,
-			Global: g, Hooks: hooks,
+			Global: g,
 		}); err != nil {
 			return nil, fmt.Errorf("cnn %s layer %s: %w", n.Name, l.Name, err)
 		}
@@ -193,10 +207,10 @@ func (nb *netBuilder) bAppend(count int) int {
 // finalize resolves weight offsets (which depend on the arena size) by
 // rebuilding layer programs through the provided closures.
 type pendingLayer struct {
-	name          string
-	build         func(wBase int32) *kasm.Program
-	threads       int
-	outOff        int
+	name             string
+	build            func(wBase int32) *kasm.Program
+	threads          int
+	outOff           int
 	outC, outH, outW int
 }
 

@@ -366,8 +366,14 @@ func EvaluateHPCCtx(ctx context.Context, db *syndrome.DB, workloads []*apps.Work
 	}
 	var out []*AppEvaluation
 	for i, w := range workloads {
+		// Both fault models replay the same workload, so they share one
+		// golden run and checkpoint trace.
+		prep, err := swfi.PrepareWorkload(w)
+		if err != nil {
+			return nil, fmt.Errorf("core: %s: %w", w.Name, err)
+		}
 		flip, err := swfi.RunCtx(ctx, swfi.Campaign{
-			Workload: w, Model: swfi.ModelBitFlip,
+			Workload: w, Model: swfi.ModelBitFlip, Prepared: prep,
 			Injections: cfg.Injections, Seed: cfg.Seed + uint64(i)*2, Workers: cfg.Workers,
 			Progress: progress(),
 		})
@@ -376,7 +382,7 @@ func EvaluateHPCCtx(ctx context.Context, db *syndrome.DB, workloads []*apps.Work
 		}
 		base += cfg.Injections
 		syn, err := swfi.RunCtx(ctx, swfi.Campaign{
-			Workload: w, Model: swfi.ModelSyndrome, DB: db,
+			Workload: w, Model: swfi.ModelSyndrome, DB: db, Prepared: prep,
 			Injections: cfg.Injections, Seed: cfg.Seed + uint64(i)*2 + 1, Workers: cfg.Workers,
 			Progress: progress(),
 		})
@@ -413,6 +419,12 @@ func EvaluateCNNCtx(ctx context.Context, db *syndrome.DB, name string, net *cnn.
 	critical func(a, b []float32) bool, cfg EvalConfig) (*CNNEvaluation, error) {
 	cfg.defaults()
 	out := &CNNEvaluation{Name: name}
+	// All three fault models replay the same network/input pair, so they
+	// share one golden run and checkpoint trace.
+	prep, err := swfi.PrepareCNN(net, input)
+	if err != nil {
+		return nil, fmt.Errorf("core: %s: %w", name, err)
+	}
 	total := 3 * cfg.Injections
 	base := 0
 	run := func(model swfi.CNNModel, seed uint64) (*swfi.CNNResult, error) {
@@ -422,7 +434,7 @@ func EvaluateCNNCtx(ctx context.Context, db *syndrome.DB, name string, net *cnn.
 			progress = func(done, _ int) { cfg.Progress(off+done, total) }
 		}
 		res, err := swfi.RunCNNCtx(ctx, swfi.CNNCampaign{
-			Net: net, Input: input, Model: model, DB: db,
+			Net: net, Input: input, Model: model, DB: db, Prepared: prep,
 			Injections: cfg.Injections, Seed: seed, Workers: cfg.Workers,
 			Critical: critical, Progress: progress,
 		})
@@ -431,7 +443,6 @@ func EvaluateCNNCtx(ctx context.Context, db *syndrome.DB, name string, net *cnn.
 		}
 		return res, err
 	}
-	var err error
 	if out.BitFlip, err = run(swfi.CNNBitFlip, cfg.Seed+11); err != nil {
 		return nil, err
 	}

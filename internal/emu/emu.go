@@ -65,12 +65,28 @@ func (e *LaunchError) Unwrap() error { return e.Err }
 // Launch describes one kernel invocation.
 type Launch struct {
 	Prog         *kasm.Program
-	Grid         int      // number of blocks
-	Block        int      // threads per block (max MaxBlockThreads)
-	Global       []uint32 // global memory, shared across blocks; mutated in place
-	SharedWords  int      // shared-memory words per block
-	Hooks        Hooks    // optional instrumentation
-	MaxDynInstrs uint64   // watchdog; DefaultMaxDynInstrs when zero
+	Grid         int       // number of blocks
+	Block        int       // threads per block (max MaxBlockThreads)
+	Global       []uint32  // global memory, shared across blocks; mutated in place
+	SharedWords  int       // shared-memory words per block
+	Hooks        Hooks     // optional instrumentation
+	MaxDynInstrs uint64    // watchdog; DefaultMaxDynInstrs when zero
+	Mem          *MemTrace // optional global-memory access tracing
+}
+
+// MemTrace collects the global-memory words a launch reads and writes, as
+// bitmaps indexed by word address. The replay layer records them on the
+// golden run to compute per-boundary live-in sets for reconvergence
+// detection. Both bitmaps must cover len(Global) bits.
+type MemTrace struct {
+	Reads  []uint64
+	Writes []uint64
+}
+
+// NewMemTrace sizes a trace for a words-long global image.
+func NewMemTrace(words int) *MemTrace {
+	n := (words + 63) / 64
+	return &MemTrace{Reads: make([]uint64, n), Writes: make([]uint64, n)}
 }
 
 // Result reports execution statistics.
@@ -86,14 +102,22 @@ type Result struct {
 // Run executes the launch to completion. On error the returned Result
 // still carries the counts accumulated so far.
 func Run(l *Launch) (Result, error) {
-	ex := &exec{l: l, budget: l.MaxDynInstrs}
+	return newExec(l).run()
+}
+
+func newExec(l *Launch) *exec {
+	ex := &exec{l: l, budget: l.MaxDynInstrs, armed: l.Hooks.OnArm == nil}
 	if ex.budget == 0 {
 		ex.budget = DefaultMaxDynInstrs
 	}
+	return ex
+}
+
+func (ex *exec) run() (Result, error) {
 	if err := ex.validate(); err != nil {
 		return ex.res, err
 	}
-	for b := 0; b < l.Grid; b++ {
+	for b := 0; b < ex.l.Grid; b++ {
 		if err := ex.runBlock(b); err != nil {
 			return ex.res, err
 		}
@@ -107,6 +131,16 @@ type exec struct {
 	budget uint64
 	shared []uint32
 	ev     Event
+
+	// armed gates instrumentation: false while a Hooks countdown
+	// (ArmAfter/OnArm) is still pending, so the prefix executes without
+	// any per-instruction hook dispatch.
+	armed bool
+
+	// Checkpoint capture state (RunCheckpointed only).
+	ckSink  func(*Snapshot)
+	ckNext  uint64
+	ckEvery uint64
 }
 
 func (ex *exec) validate() error {
@@ -143,10 +177,28 @@ func (ex *exec) runBlock(blockID int) error {
 		}
 		warps[w] = newWarp(w, lanes)
 	}
+	return ex.blockLoop(blockID, warps)
+}
 
+// blockLoop drives a block's warps to completion from an arbitrary
+// consistent state: freshly created warps (runBlock) or warps restored
+// from a Snapshot (Resume). A warp's scheduling turn only ends when it is
+// done or parked at a barrier, so re-entering the round-robin loop from
+// warp 0 resumes exactly where a snapshot was captured.
+func (ex *exec) blockLoop(blockID int, warps []*warp) error {
 	for {
 		for _, w := range warps {
 			for !w.done && !w.atBar {
+				if ex.ckSink != nil && ex.res.DynThreadInstrs >= ex.ckNext {
+					ex.ckSink(ex.snapshot(blockID, warps))
+					for ex.ckNext <= ex.res.DynThreadInstrs {
+						ex.ckNext += ex.ckEvery
+					}
+				}
+				if !ex.armed && ex.res.DynThreadInstrs+WarpSize > ex.l.Hooks.ArmAfter {
+					ex.armed = true
+					ex.l.Hooks.OnArm(&ex.res)
+				}
 				if err := ex.step(blockID, w); err != nil {
 					return err
 				}

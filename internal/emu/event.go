@@ -14,6 +14,18 @@ import (
 type Hooks struct {
 	Pre  func(*Event)
 	Post func(*Event)
+
+	// ArmAfter and OnArm implement hook-free countdown execution. When
+	// OnArm is non-nil the launch starts unarmed: Pre and Post stay inert
+	// (no per-instruction closure dispatch or operand capture) until the
+	// launch's DynThreadInstrs counter could reach ArmAfter within one
+	// warp instruction — i.e. the hooks are guaranteed live before the
+	// counter crosses ArmAfter. At arming time OnArm is called once with
+	// the Result accumulated so far, so an injector can seed its dynamic
+	// instruction counter from the uninstrumented prefix. When OnArm is
+	// nil, ArmAfter is ignored and hooks behave as always.
+	ArmAfter uint64
+	OnArm    func(*Result)
 }
 
 // Event describes one executed warp-level instruction to instrumentation

@@ -1,0 +1,210 @@
+package emu
+
+import (
+	"testing"
+
+	"gpufi/internal/isa"
+	"gpufi/internal/kasm"
+)
+
+// sharedRevProg exercises every piece of snapshot state: divergence (an If
+// on the thread id), shared memory with a barrier (block-level reversal)
+// and global loads/stores. Layout [in(n) | out(n)], out[gid] =
+// 2*in[block-reversed gid] + (tid < ntid/2 ? 1 : 0).
+func sharedRevProg(t *testing.T, block int32) *kasm.Program {
+	t.Helper()
+	b := kasm.New("sharedrev")
+	b.S2R(rTid, isa.SRTid)
+	b.S2R(rCta, isa.SRCtaid)
+	b.S2R(rNtid, isa.SRNtid)
+	b.IMad(rAddr, rCta, rNtid, rTid) // global thread id
+	b.Gld(rA, rAddr, 0)
+	b.Sst(rTid, 0, rA)
+	b.Bar()
+	b.IAddI(rTmp, rNtid, -1)
+	b.MovI(rB, -1)
+	b.IMad(rTmp, rTid, rB, rTmp) // ntid-1-tid
+	b.Sld(rC, rTmp, 0)
+	b.IAdd(rC, rC, rC)
+	b.ISetPI(isa.P(0), isa.CmpLT, rTid, block/2)
+	b.If(isa.P(0), func() {
+		b.IAddI(rC, rC, 1)
+	})
+	b.S2R(rB, isa.SRNctaid)
+	b.IMul(rB, rB, rNtid) // total threads = n
+	b.IAdd(rAddr, rAddr, rB)
+	b.Gst(rAddr, 0, rC) // out[gid]
+	p, err := b.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func sharedRevLaunch(prog *kasm.Program, g []uint32, hooks Hooks) *Launch {
+	return &Launch{Prog: prog, Grid: 2, Block: 64, Global: g, SharedWords: 64, Hooks: hooks}
+}
+
+func sharedRevInput(n int) []uint32 {
+	g := make([]uint32, 2*n)
+	for i := 0; i < n; i++ {
+		g[i] = uint32(i * 3)
+	}
+	return g
+}
+
+// TestSnapshotResumeBitIdentical resumes from every checkpoint of a
+// divergence+barrier+shared-memory kernel and demands the exact final
+// memory image and Result counters of an uninterrupted run.
+func TestSnapshotResumeBitIdentical(t *testing.T) {
+	const n = 128
+	prog := sharedRevProg(t, 64)
+
+	gWant := sharedRevInput(n)
+	want, err := Run(sharedRevLaunch(prog, gWant, Hooks{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var snaps []*Snapshot
+	gRec := sharedRevInput(n)
+	got, err := RunCheckpointed(sharedRevLaunch(prog, gRec, Hooks{}), 7, 97, func(s *Snapshot) {
+		snaps = append(snaps, s)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("checkpointed Result = %+v, want %+v", got, want)
+	}
+	if !equalWords(gRec, gWant) {
+		t.Fatal("checkpointed run diverged from plain run")
+	}
+	if len(snaps) < 5 {
+		t.Fatalf("only %d snapshots captured", len(snaps))
+	}
+
+	sawSecondBlock := false
+	for i, s := range snaps {
+		if s.block == 1 {
+			sawSecondBlock = true
+		}
+		g := make([]uint32, 2*n)
+		res, err := Resume(sharedRevLaunch(prog, g, Hooks{}), s)
+		if err != nil {
+			t.Fatalf("resume from snapshot %d: %v", i, err)
+		}
+		if res != want {
+			t.Fatalf("snapshot %d: resumed Result = %+v, want %+v", i, res, want)
+		}
+		if !equalWords(g, gWant) {
+			t.Fatalf("snapshot %d: resumed memory image diverged", i)
+		}
+	}
+	if !sawSecondBlock {
+		t.Fatal("no snapshot landed in the second block; widen the test")
+	}
+}
+
+// TestCountdownArming checks hook-free countdown execution: hooks stay
+// inert before ArmAfter, OnArm hands over the prefix counters, and the
+// armed tail observes every remaining instruction.
+func TestCountdownArming(t *testing.T) {
+	const n = 128
+	prog := sharedRevProg(t, 64)
+
+	gWant := sharedRevInput(n)
+	want, err := Run(sharedRevLaunch(prog, gWant, Hooks{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, armAfter := range []uint64{0, 1, 333, want.DynThreadInstrs / 2, want.DynThreadInstrs} {
+		var armedAt uint64
+		armCalls := 0
+		var hookInstrs uint64
+		g := sharedRevInput(n)
+		res, err := Run(sharedRevLaunch(prog, g, Hooks{
+			Post:     func(ev *Event) { hookInstrs += uint64(ev.ActiveCount()) },
+			ArmAfter: armAfter,
+			OnArm: func(r *Result) {
+				armCalls++
+				armedAt = r.DynThreadInstrs
+			},
+		}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res != want {
+			t.Fatalf("armAfter=%d: Result = %+v, want %+v", armAfter, res, want)
+		}
+		if !equalWords(g, gWant) {
+			t.Fatalf("armAfter=%d: output diverged", armAfter)
+		}
+		if armCalls != 1 {
+			t.Fatalf("armAfter=%d: OnArm called %d times", armAfter, armCalls)
+		}
+		// The hook must be live before the counter crosses ArmAfter, and
+		// the hooked tail plus the unhooked prefix must cover the run.
+		if armedAt+WarpSize <= armAfter {
+			t.Fatalf("armAfter=%d: armed too late, at %d", armAfter, armedAt)
+		}
+		if armedAt+hookInstrs != want.DynThreadInstrs {
+			t.Fatalf("armAfter=%d: prefix %d + hooked %d != total %d",
+				armAfter, armedAt, hookInstrs, want.DynThreadInstrs)
+		}
+	}
+}
+
+// TestCountdownOnResume arms a countdown on a resumed launch and checks
+// the combination still reproduces the uninstrumented run.
+func TestCountdownOnResume(t *testing.T) {
+	const n = 128
+	prog := sharedRevProg(t, 64)
+
+	gWant := sharedRevInput(n)
+	want, err := Run(sharedRevLaunch(prog, gWant, Hooks{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snaps []*Snapshot
+	gRec := sharedRevInput(n)
+	if _, err := RunCheckpointed(sharedRevLaunch(prog, gRec, Hooks{}), 100, 100, func(s *Snapshot) {
+		snaps = append(snaps, s)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s := snaps[len(snaps)/2]
+	armAfter := s.Res().DynThreadInstrs + 50
+	var hookInstrs, armedAt uint64
+	g := make([]uint32, 2*n)
+	res, err := Resume(sharedRevLaunch(prog, g, Hooks{
+		Post:     func(ev *Event) { hookInstrs += uint64(ev.ActiveCount()) },
+		ArmAfter: armAfter,
+		OnArm:    func(r *Result) { armedAt = r.DynThreadInstrs },
+	}), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != want || !equalWords(g, gWant) {
+		t.Fatalf("countdown resume diverged: Result = %+v, want %+v", res, want)
+	}
+	if armedAt < s.Res().DynThreadInstrs || armedAt+WarpSize <= armAfter {
+		t.Fatalf("armed at %d (snapshot %d, armAfter %d)", armedAt, s.Res().DynThreadInstrs, armAfter)
+	}
+	if armedAt+hookInstrs != want.DynThreadInstrs {
+		t.Fatalf("prefix %d + hooked %d != total %d", armedAt, hookInstrs, want.DynThreadInstrs)
+	}
+}
+
+func equalWords(a, b []uint32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

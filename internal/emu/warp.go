@@ -105,7 +105,7 @@ func (ex *exec) step(blockID int, w *warp) error {
 	guard := active & w.evalPred(in.Guard)
 
 	hooks := &ex.l.Hooks
-	if hooks.Pre != nil && guard != 0 {
+	if hooks.Pre != nil && ex.armed && guard != 0 {
 		ex.prepareEvent(blockID, w, pc, in, guard)
 		hooks.Pre(&ex.ev)
 		guard = active & w.evalPred(in.Guard) // the hook may have changed it
@@ -118,7 +118,7 @@ func (ex *exec) step(blockID int, w *warp) error {
 		return &LaunchError{Block: blockID, Warp: w.id, PC: pc, Err: ErrWatchdog}
 	}
 
-	capture := hooks.Post != nil && guard != 0
+	capture := hooks.Post != nil && ex.armed && guard != 0
 	if capture {
 		ex.prepareEvent(blockID, w, pc, in, guard)
 	}
@@ -224,11 +224,17 @@ func (ex *exec) execData(blockID int, w *warp, pc int, in isa.Instr, guard uint3
 			if addr < 0 || addr >= int64(len(global)) {
 				return &LaunchError{Block: blockID, Warp: w.id, PC: pc, Err: ErrBadAddress}
 			}
+			if mt := ex.l.Mem; mt != nil {
+				mt.Reads[addr>>6] |= 1 << (uint(addr) & 63)
+			}
 			d = global[addr]
 		case isa.OpGST:
 			addr := int64(int32(a)) + int64(in.Imm)
 			if addr < 0 || addr >= int64(len(global)) {
 				return &LaunchError{Block: blockID, Warp: w.id, PC: pc, Err: ErrBadAddress}
+			}
+			if mt := ex.l.Mem; mt != nil {
+				mt.Writes[addr>>6] |= 1 << (uint(addr) & 63)
 			}
 			global[addr] = c
 			d = c

@@ -11,6 +11,7 @@ import (
 	"gpufi/internal/emu"
 	"gpufi/internal/faults"
 	"gpufi/internal/isa"
+	"gpufi/internal/replay"
 	"gpufi/internal/stats"
 	"gpufi/internal/syndrome"
 )
@@ -56,6 +57,18 @@ type CNNCampaign struct {
 	// misdetection) by comparing golden and faulty outputs.
 	Critical func(golden, faulty []float32) bool
 
+	// NoFastForward disables the golden-prefix checkpoint optimisation and
+	// re-executes every injection run from the first layer with hooks
+	// armed throughout. Results are bit-identical either way; see
+	// Campaign.NoFastForward.
+	NoFastForward bool
+
+	// Prepared, when non-nil, supplies a ready-made golden run, profile
+	// and checkpoint trace for Net/Input (from PrepareCNN), letting the
+	// three fault models share one preparation. Ignored when
+	// NoFastForward is set.
+	Prepared *CNNPrepared
+
 	// Progress, when non-nil, is called after every completed injection
 	// run; see Campaign.Progress for the concurrency contract.
 	Progress func(done, total int)
@@ -68,6 +81,11 @@ type CNNResult struct {
 	Tally       faults.Tally
 	CriticalSDC int
 	Profile     Counts
+
+	// SimInstrs / SkippedInstrs are the fast-forward telemetry counters;
+	// see Result. Both are zero on the NoFastForward path.
+	SimInstrs     uint64
+	SkippedInstrs uint64
 }
 
 // PVF is the SDC program vulnerability factor.
@@ -94,15 +112,34 @@ func RunCNNCtx(ctx context.Context, c CNNCampaign) (*CNNResult, error) {
 	if (c.Model == CNNSyndrome || c.Model == CNNTile) && c.DB == nil {
 		return nil, ErrNoDB
 	}
-	golden, err := c.Net.Run(c.Input, emu.Hooks{}, nil)
-	if err != nil {
-		return nil, fmt.Errorf("swfi: golden CNN run failed: %w", err)
-	}
-	var profile Counts
-	if _, err := c.Net.Run(c.Input, emu.Hooks{Post: func(ev *emu.Event) {
-		profile[ev.Instr.Op] += uint64(ev.ActiveCount())
-	}}, nil); err != nil {
-		return nil, err
+	// Fast-forward preparation; see RunCtx. With NoFastForward the golden
+	// and profiling runs execute plainly, exactly as before the
+	// optimisation.
+	var (
+		golden  []float32
+		profile Counts
+		tr      *replay.Trace
+	)
+	switch {
+	case c.NoFastForward:
+		var err error
+		golden, err = c.Net.Run(c.Input, emu.Hooks{}, nil)
+		if err != nil {
+			return nil, fmt.Errorf("swfi: golden CNN run failed: %w", err)
+		}
+		if _, err := c.Net.Run(c.Input, emu.Hooks{Post: func(ev *emu.Event) {
+			profile[ev.Instr.Op] += uint64(ev.ActiveCount())
+		}}, nil); err != nil {
+			return nil, err
+		}
+	case c.Prepared != nil:
+		golden, profile, tr = c.Prepared.golden, c.Prepared.profile, c.Prepared.trace
+	default:
+		prep, err := PrepareCNN(c.Net, c.Input)
+		if err != nil {
+			return nil, err
+		}
+		golden, profile, tr = prep.golden, prep.profile, prep.trace
 	}
 	injectable := profile.InjectableTotal()
 	if injectable == 0 {
@@ -114,9 +151,19 @@ func RunCNNCtx(ctx context.Context, c CNNCampaign) (*CNNResult, error) {
 	if workers <= 0 {
 		workers = defaultWorkers()
 	}
-	var crit int
-	res.Tally, crit = parallelInjectionsWithSide(ctx, c.Injections, workers, c.Seed, c.Progress,
-		func(r *stats.RNG) (faults.Outcome, bool) {
+	// Worker w exclusively runs injections i ≡ w (mod workers), so pool
+	// i%workers gives each worker a private reusable arena.
+	var pools []*replay.Pool
+	if tr != nil {
+		pools = make([]*replay.Pool, workers)
+		for i := range pools {
+			pools[i] = &replay.Pool{}
+		}
+	}
+	var simInstrs, skippedInstrs atomic.Uint64
+	var crit, completed int
+	res.Tally, crit, completed = parallelInjectionsWithSide(ctx, c.Injections, workers, c.Seed, c.Progress,
+		func(i int, r *stats.RNG) (faults.Outcome, bool) {
 			var out []float32
 			var err error
 			switch c.Model {
@@ -125,7 +172,17 @@ func RunCNNCtx(ctx context.Context, c CNNCampaign) (*CNNResult, error) {
 				if !ok {
 					return faults.Masked, false // no characterisation: nothing injected
 				}
-				out, err = c.Net.Run(c.Input, emu.Hooks{}, inj)
+				if tr != nil {
+					// The tile is applied by host code after layer
+					// inj.Layer, so every launch up to and including it
+					// replays from the recorded write-sets.
+					p := replay.NewPlayerSkipTo(tr, inj.Layer, pools[i%workers])
+					out, err = c.Net.RunWith(p, c.Input, inj)
+					simInstrs.Add(p.Live.DynThreadInstrs)
+					skippedInstrs.Add(p.Skipped)
+				} else {
+					out, err = c.Net.Run(c.Input, emu.Hooks{}, inj)
+				}
 			default:
 				model := ModelBitFlip
 				if c.Model == CNNSyndrome {
@@ -137,7 +194,17 @@ func RunCNNCtx(ctx context.Context, c CNNCampaign) (*CNNResult, error) {
 					db:     c.DB,
 					rng:    r,
 				}
-				out, err = c.Net.Run(c.Input, emu.Hooks{Post: in.post}, nil)
+				if tr != nil {
+					p := replay.NewPlayer(tr, in.target, emu.Hooks{Post: in.post},
+						func(countDone uint64) { in.counter = countDone },
+						func() bool { return in.fired },
+						pools[i%workers])
+					out, err = c.Net.RunWith(p, c.Input, nil)
+					simInstrs.Add(p.Live.DynThreadInstrs)
+					skippedInstrs.Add(p.Skipped)
+				} else {
+					out, err = c.Net.Run(c.Input, emu.Hooks{Post: in.post}, nil)
+				}
 			}
 			switch {
 			case err != nil:
@@ -149,17 +216,23 @@ func RunCNNCtx(ctx context.Context, c CNNCampaign) (*CNNResult, error) {
 				return faults.Masked, false
 			}
 		})
-	if err := ctx.Err(); err != nil {
+	// Cancellation that lands after the last injection finished does not
+	// void the campaign: every run completed, so return the result.
+	if err := ctx.Err(); err != nil && completed != c.Injections {
 		return nil, err
 	}
 	res.CriticalSDC = crit
+	res.SimInstrs = simInstrs.Load()
+	res.SkippedInstrs = skippedInstrs.Load()
 	return res, nil
 }
 
 // parallelInjectionsWithSide is parallelInjections with a critical-SDC
-// counter. Workers stop at injection boundaries once ctx is cancelled.
+// counter, passing the injection index. Workers stop at injection
+// boundaries once ctx is cancelled; the completed count lets callers tell
+// a cancelled campaign from a finished one.
 func parallelInjectionsWithSide(ctx context.Context, n, workers int, seed uint64,
-	progress func(done, total int), one func(*stats.RNG) (faults.Outcome, bool)) (faults.Tally, int) {
+	progress func(done, total int), one func(int, *stats.RNG) (faults.Outcome, bool)) (faults.Tally, int, int) {
 	partial := make([]faults.Tally, workers)
 	critPartial := make([]int, workers)
 	var completed atomic.Int64
@@ -171,13 +244,14 @@ func parallelInjectionsWithSide(ctx context.Context, n, workers int, seed uint64
 					break
 				}
 				r := stats.NewRNG(seed ^ 0xD1B54A32D192ED03*uint64(i+1))
-				o, crit := one(r)
+				o, crit := one(i, r)
 				partial[w].Add(o, 1)
 				if crit {
 					critPartial[w]++
 				}
+				d := int(completed.Add(1))
 				if progress != nil {
-					progress(int(completed.Add(1)), n)
+					progress(d, n)
 				}
 			}
 			done <- struct{}{}
@@ -192,7 +266,7 @@ func parallelInjectionsWithSide(ctx context.Context, n, workers int, seed uint64
 		out.Merge(partial[w])
 		crit += critPartial[w]
 	}
-	return out, crit
+	return out, crit, int(completed.Load())
 }
 
 func floatsEqual(a, b []float32) bool {

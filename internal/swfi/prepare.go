@@ -1,0 +1,101 @@
+package swfi
+
+import (
+	"fmt"
+
+	"gpufi/internal/apps"
+	"gpufi/internal/cnn"
+	"gpufi/internal/isa"
+	"gpufi/internal/replay"
+)
+
+// checkpointsPerCampaign bounds the golden-prefix snapshots recorded per
+// campaign workload. Injection runs fast-forward to the latest checkpoint
+// at or before their target instruction, so the residual golden prefix
+// re-simulated per injection averages totalInstrs/(2*checkpointsPerCampaign)
+// — ~2% of a full replay — while snapshot memory stays bounded. The same
+// value rtlfi uses per input draw.
+const checkpointsPerCampaign = 24
+
+// injectableOp adapts Injectable to the replay package's countable
+// predicate: the trace's countable coordinates then index exactly the
+// dynamic instructions an injector counts and targets.
+func injectableOp(op isa.Opcode) bool { return Injectable(op) }
+
+// Prepared holds everything the fast-forward path shares across the
+// injections of a workload's campaigns: the golden output, the
+// instruction profile and the checkpoint trace. It is read-only after
+// PrepareWorkload, so concurrent workers — and multiple campaigns on the
+// same workload (e.g. bit-flip and syndrome models) — reuse one
+// preparation.
+type Prepared struct {
+	golden     []uint32
+	profile    Counts
+	injectable uint64
+	trace      *replay.Trace
+}
+
+// PrepareWorkload runs the workload's golden execution and records its
+// fast-forward trace: ~checkpointsPerCampaign emulator snapshots plus the
+// per-launch global-memory write-sets. The recording replay is verified
+// bit-identical to the plain golden run before it is trusted.
+func PrepareWorkload(w *apps.Workload) (*Prepared, error) {
+	plain := &replay.Plain{}
+	golden, err := w.ExecuteWith(plain)
+	if err != nil {
+		return nil, fmt.Errorf("swfi: golden run of %s failed: %w", w.Name, err)
+	}
+	rec := replay.NewRecorder(plain.Res.DynThreadInstrs/checkpointsPerCampaign, injectableOp)
+	recOut, err := w.ExecuteWith(rec)
+	if err != nil {
+		return nil, fmt.Errorf("swfi: checkpoint replay of %s failed: %w", w.Name, err)
+	}
+	if !bitsEqual(golden, recOut) {
+		return nil, fmt.Errorf("swfi: checkpoint replay of %s diverged from golden run", w.Name)
+	}
+	tr := rec.Finish()
+	tr.HostPure = w.PureHost
+	p := &Prepared{golden: golden, profile: Counts(tr.Profile), trace: tr}
+	p.injectable = p.profile.InjectableTotal()
+	return p, nil
+}
+
+// CNNPrepared is Prepared for a CNN campaign: one network/input pair's
+// golden output, profile and checkpoint trace, shared across that pair's
+// campaigns (bit-flip, syndrome and tile models alike).
+type CNNPrepared struct {
+	golden     []float32
+	profile    Counts
+	injectable uint64
+	trace      *replay.Trace
+}
+
+// PrepareCNN records a network/input pair's golden execution and
+// fast-forward trace, verified bit-identical to the plain golden run.
+func PrepareCNN(net *cnn.Network, input []float32) (*CNNPrepared, error) {
+	plain := &replay.Plain{}
+	golden, err := net.RunWith(plain, input, nil)
+	if err != nil {
+		return nil, fmt.Errorf("swfi: golden run of %s failed: %w", net.Name, err)
+	}
+	rec := replay.NewRecorder(plain.Res.DynThreadInstrs/checkpointsPerCampaign, injectableOp)
+	recOut, err := net.RunWith(rec, input, nil)
+	if err != nil {
+		return nil, fmt.Errorf("swfi: checkpoint replay of %s failed: %w", net.Name, err)
+	}
+	if !floatsEqual(golden, recOut) {
+		return nil, fmt.Errorf("swfi: checkpoint replay of %s diverged from golden run", net.Name)
+	}
+	tr := rec.Finish()
+	// Network.RunWith's host is pure by construction: between launches it
+	// only applies the tile corruption at the faulty boundary itself and
+	// reads the arena solely after the last launch. That also licenses
+	// live-in pruning: corrupted activations parked in feature maps no
+	// later layer reads must not block reconvergence.
+	tr.HostPure = true
+	off, words := net.OutputRegion()
+	tr.ComputeLiveIn(off, words)
+	p := &CNNPrepared{golden: golden, profile: Counts(tr.Profile), trace: tr}
+	p.injectable = p.profile.InjectableTotal()
+	return p, nil
+}

@@ -19,6 +19,7 @@ import (
 	"gpufi/internal/emu"
 	"gpufi/internal/faults"
 	"gpufi/internal/isa"
+	"gpufi/internal/replay"
 	"gpufi/internal/stats"
 	"gpufi/internal/syndrome"
 )
@@ -241,6 +242,19 @@ type Campaign struct {
 	// for auditing what was injected where.
 	RecordInjections bool
 
+	// NoFastForward disables the golden-prefix checkpoint optimisation and
+	// re-executes every injection run from dynamic instruction zero with
+	// hooks armed throughout. Results are bit-identical either way; the
+	// flag exists for regression tests and benchmarks of the fast-forward
+	// path itself.
+	NoFastForward bool
+
+	// Prepared, when non-nil, supplies a ready-made golden run, profile
+	// and checkpoint trace for Workload (from PrepareWorkload), letting
+	// several campaigns on the same workload share one preparation. It is
+	// ignored when NoFastForward is set.
+	Prepared *Prepared
+
 	// Tolerance relaxes the SDC criterion: outputs are compared as
 	// float32 values with this relative tolerance instead of bitwise
 	// (the DESIGN.md §6 ablation; Rodinia-style golden compares use 0 =
@@ -270,6 +284,14 @@ type Result struct {
 	Profile    Counts
 	Injectable uint64
 	Records    []InjectionRecord // when Campaign.RecordInjections
+
+	// SimInstrs counts the thread-instructions actually simulated across
+	// all injection runs; SkippedInstrs counts those the fast-forward
+	// provably avoided (write-set launches plus restored snapshot
+	// prefixes). (SimInstrs+SkippedInstrs)/SimInstrs is the campaign's
+	// effective replay speedup. Both are zero on the NoFastForward path.
+	SimInstrs     uint64
+	SkippedInstrs uint64
 }
 
 // PVF is the SDC program vulnerability factor: the probability that a
@@ -299,13 +321,34 @@ func RunCtx(ctx context.Context, c Campaign) (*Result, error) {
 	if c.Model.NeedsDB() && c.DB == nil {
 		return nil, ErrNoDB
 	}
-	golden, err := c.Workload.Execute(emu.Hooks{})
-	if err != nil {
-		return nil, fmt.Errorf("swfi: golden run of %s failed: %w", c.Workload.Name, err)
-	}
-	profile, err := Profile(c.Workload)
-	if err != nil {
-		return nil, err
+	// Fast-forward preparation: the golden prefix of every injection run
+	// is bit-identical to the golden run, so it is recorded once into
+	// checkpoints and write-sets and restored instead of re-simulated.
+	// With NoFastForward the golden and profiling runs execute plainly,
+	// exactly as before the optimisation.
+	var (
+		golden  []uint32
+		profile Counts
+		tr      *replay.Trace
+	)
+	switch {
+	case c.NoFastForward:
+		var err error
+		golden, err = c.Workload.Execute(emu.Hooks{})
+		if err != nil {
+			return nil, fmt.Errorf("swfi: golden run of %s failed: %w", c.Workload.Name, err)
+		}
+		if profile, err = Profile(c.Workload); err != nil {
+			return nil, err
+		}
+	case c.Prepared != nil:
+		golden, profile, tr = c.Prepared.golden, c.Prepared.profile, c.Prepared.trace
+	default:
+		prep, err := PrepareWorkload(c.Workload)
+		if err != nil {
+			return nil, err
+		}
+		golden, profile, tr = prep.golden, prep.profile, prep.trace
 	}
 	injectable := profile.InjectableTotal()
 	if injectable == 0 {
@@ -317,7 +360,21 @@ func RunCtx(ctx context.Context, c Campaign) (*Result, error) {
 	if c.RecordInjections {
 		records = make([]InjectionRecord, c.Injections)
 	}
-	tallies := parallelInjectionsIdx(ctx, c.Injections, c.Workers, c.Seed, c.Progress, func(i int, r *stats.RNG) faults.Outcome {
+	workers := c.Workers
+	if workers <= 0 {
+		workers = defaultWorkers()
+	}
+	// Worker w exclusively runs injections i ≡ w (mod workers), so pool
+	// i%workers gives each worker a private reusable arena.
+	var pools []*replay.Pool
+	if tr != nil {
+		pools = make([]*replay.Pool, workers)
+		for i := range pools {
+			pools[i] = &replay.Pool{}
+		}
+	}
+	var simInstrs, skippedInstrs atomic.Uint64
+	tallies, completed := parallelInjectionsIdx(ctx, c.Injections, workers, c.Seed, c.Progress, func(i int, r *stats.RNG) faults.Outcome {
 		in := &injector{
 			target: r.Uint64() % injectable,
 			model:  c.Model,
@@ -325,7 +382,19 @@ func RunCtx(ctx context.Context, c Campaign) (*Result, error) {
 			focus:  c.ModuleFocus,
 			rng:    r,
 		}
-		out, err := c.Workload.Execute(emu.Hooks{Post: in.post})
+		var out []uint32
+		var err error
+		if tr != nil {
+			p := replay.NewPlayer(tr, in.target, emu.Hooks{Post: in.post},
+				func(countDone uint64) { in.counter = countDone },
+				func() bool { return in.fired },
+				pools[i%workers])
+			out, err = c.Workload.ExecuteWith(p)
+			simInstrs.Add(p.Live.DynThreadInstrs)
+			skippedInstrs.Add(p.Skipped)
+		} else {
+			out, err = c.Workload.Execute(emu.Hooks{Post: in.post})
+		}
 		var outcome faults.Outcome
 		switch {
 		case err != nil:
@@ -344,19 +413,25 @@ func RunCtx(ctx context.Context, c Campaign) (*Result, error) {
 		}
 		return outcome
 	})
-	if err := ctx.Err(); err != nil {
+	// Cancellation that lands after the last injection finished does not
+	// void the campaign: every run completed, so return the result.
+	if err := ctx.Err(); err != nil && completed != c.Injections {
 		return nil, err
 	}
 	res.Tally = tallies
 	res.Records = records
+	res.SimInstrs = simInstrs.Load()
+	res.SkippedInstrs = skippedInstrs.Load()
 	return res, nil
 }
 
 // parallelInjectionsIdx fans the injection loop across workers with
 // deterministic per-injection RNG streams, passing the injection index.
-// Workers stop at injection boundaries once ctx is cancelled.
+// Workers stop at injection boundaries once ctx is cancelled. It returns
+// the merged tally and the number of injections that completed, so
+// callers can tell a cancelled campaign from a finished one.
 func parallelInjectionsIdx(ctx context.Context, n, workers int, seed uint64,
-	progress func(done, total int), one func(int, *stats.RNG) faults.Outcome) faults.Tally {
+	progress func(done, total int), one func(int, *stats.RNG) faults.Outcome) (faults.Tally, int) {
 	if workers <= 0 {
 		workers = defaultWorkers()
 	}
@@ -371,8 +446,9 @@ func parallelInjectionsIdx(ctx context.Context, n, workers int, seed uint64,
 				}
 				r := stats.NewRNG(seed ^ 0x9E3779B97F4A7C15*uint64(i+1))
 				partial[w].Add(one(i, r), 1)
+				d := int(completed.Add(1))
 				if progress != nil {
-					progress(int(completed.Add(1)), n)
+					progress(d, n)
 				}
 			}
 			done <- w
@@ -385,7 +461,7 @@ func parallelInjectionsIdx(ctx context.Context, n, workers int, seed uint64,
 	for _, t := range partial {
 		out.Merge(t)
 	}
-	return out
+	return out, int(completed.Load())
 }
 
 func bitsEqual(a, b []uint32) bool {
