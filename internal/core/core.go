@@ -11,6 +11,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"math"
 	"sort"
 
 	"gpufi/internal/apps"
@@ -34,6 +35,7 @@ type CharacterizeConfig struct {
 	Ops               []isa.Opcode        // default: the 12 characterised opcodes
 	Ranges            []faults.InputRange // default: S, M, L
 	SkipTMXM          bool                // skip the t-MxM campaigns (micro-benchmarks only)
+	NoPrune           bool                // disable dead-site pruning (see rtlfi.Spec.NoPrune)
 
 	// Progress, when non-nil, receives fault-level progress aggregated
 	// over the whole characterisation plan. It may be called concurrently
@@ -78,13 +80,14 @@ const (
 // any order — or skipped and re-run after an interruption — and still
 // reproduce exactly the campaign an uninterrupted Characterize would run.
 type Unit struct {
-	Kind   UnitKind
-	Op     isa.Opcode        // UnitMicro only
-	Range  faults.InputRange // UnitMicro only
-	Module faults.Module
-	Tile   mxm.TileKind // UnitTMXM only
-	Faults int
-	Seed   uint64
+	Kind    UnitKind
+	Op      isa.Opcode        // UnitMicro only
+	Range   faults.InputRange // UnitMicro only
+	Module  faults.Module
+	Tile    mxm.TileKind // UnitTMXM only
+	Faults  int
+	Seed    uint64
+	NoPrune bool // campaign results are bit-identical either way
 }
 
 // Name returns the unit's stable identifier, used as the checkpoint key
@@ -111,7 +114,7 @@ func Plan(cfg CharacterizeConfig) []Unit {
 				seed++
 				units = append(units, Unit{
 					Kind: UnitMicro, Op: op, Range: rng, Module: mod,
-					Faults: cfg.FaultsPerCampaign, Seed: seed,
+					Faults: cfg.FaultsPerCampaign, Seed: seed, NoPrune: cfg.NoPrune,
 				})
 			}
 		}
@@ -124,7 +127,7 @@ func Plan(cfg CharacterizeConfig) []Unit {
 			seed++
 			units = append(units, Unit{
 				Kind: UnitTMXM, Module: mod, Tile: kind,
-				Faults: cfg.TMXMFaults, Seed: seed,
+				Faults: cfg.TMXMFaults, Seed: seed, NoPrune: cfg.NoPrune,
 			})
 		}
 	}
@@ -147,6 +150,87 @@ func (r *UnitResult) Tally() faults.Tally {
 	return r.TMXM.Tally
 }
 
+// Telemetry is the RTL campaign engine's cycle accounting, aggregated
+// over one or more campaigns: cycles actually simulated, cycles provably
+// skipped (checkpoint fast-forward, golden reconvergence, dead-site
+// pruning), and the injections dead-site pruning classified with zero
+// simulation. The JSON form is served verbatim by the jobs API.
+type Telemetry struct {
+	Injections    int    `json:"injections"`
+	SimCycles     uint64 `json:"sim_cycles"`
+	SkippedCycles uint64 `json:"skipped_cycles"`
+	PrunedFaults  uint64 `json:"pruned_faults"`
+}
+
+// Merge accumulates another campaign's counters.
+func (t *Telemetry) Merge(o Telemetry) {
+	t.Injections += o.Injections
+	t.SimCycles += o.SimCycles
+	t.SkippedCycles += o.SkippedCycles
+	t.PrunedFaults += o.PrunedFaults
+}
+
+// ReplaySpeedup returns total fault-run cycles over cycles actually
+// simulated — the combined effect of fast-forward and pruning.
+func (t Telemetry) ReplaySpeedup() float64 {
+	if t.SimCycles == 0 {
+		if t.SkippedCycles == 0 {
+			return 1
+		}
+		return math.Inf(1)
+	}
+	return float64(t.SimCycles+t.SkippedCycles) / float64(t.SimCycles)
+}
+
+// PruneRate returns the share of injections dead-site pruning classified.
+func (t Telemetry) PruneRate() float64 {
+	if t.Injections == 0 {
+		return 0
+	}
+	return float64(t.PrunedFaults) / float64(t.Injections)
+}
+
+// Telemetry returns the unit's engine counters regardless of kind.
+func (r *UnitResult) Telemetry() Telemetry {
+	if r.Micro != nil {
+		return Telemetry{
+			Injections:    r.Micro.Tally.Injections,
+			SimCycles:     r.Micro.SimCycles,
+			SkippedCycles: r.Micro.SkippedCycles,
+			PrunedFaults:  r.Micro.PrunedFaults,
+		}
+	}
+	return Telemetry{
+		Injections:    r.TMXM.Tally.Injections,
+		SimCycles:     r.TMXM.SimCycles,
+		SkippedCycles: r.TMXM.SkippedCycles,
+		PrunedFaults:  r.TMXM.PrunedFaults,
+	}
+}
+
+// Telemetry aggregates the engine counters over every campaign of the
+// characterisation.
+func (c *Characterization) Telemetry() Telemetry {
+	var t Telemetry
+	for _, r := range c.Micro {
+		t.Merge(Telemetry{
+			Injections:    r.Tally.Injections,
+			SimCycles:     r.SimCycles,
+			SkippedCycles: r.SkippedCycles,
+			PrunedFaults:  r.PrunedFaults,
+		})
+	}
+	for _, r := range c.TMXM {
+		t.Merge(Telemetry{
+			Injections:    r.Tally.Injections,
+			SimCycles:     r.SimCycles,
+			SkippedCycles: r.SkippedCycles,
+			PrunedFaults:  r.PrunedFaults,
+		})
+	}
+	return t
+}
+
 // RunUnit executes one plan unit with cancellation and fault-level
 // progress reporting.
 func RunUnit(ctx context.Context, u Unit, workers int, progress func(done, total int)) (*UnitResult, error) {
@@ -155,7 +239,7 @@ func RunUnit(ctx context.Context, u Unit, workers int, progress func(done, total
 		res, err := rtlfi.RunMicroCtx(ctx, rtlfi.Spec{
 			Op: u.Op, Range: u.Range, Module: u.Module,
 			NumFaults: u.Faults, Seed: u.Seed, Workers: workers,
-			Progress: progress,
+			NoPrune: u.NoPrune, Progress: progress,
 		})
 		if err != nil {
 			return nil, err
@@ -165,7 +249,7 @@ func RunUnit(ctx context.Context, u Unit, workers int, progress func(done, total
 		res, err := rtlfi.RunTMXMCtx(ctx, rtlfi.TMXMSpec{
 			Module: u.Module, Kind: u.Tile,
 			NumFaults: u.Faults, Seed: u.Seed, Workers: workers,
-			Progress: progress,
+			NoPrune: u.NoPrune, Progress: progress,
 		})
 		if err != nil {
 			return nil, err

@@ -106,6 +106,29 @@ func (c *CostModel) RTLAppInjectionSeconds() float64 {
 	return float64(c.RTLMicroCycles) * scale / c.RTLCyclesPerSecond
 }
 
+// RTLAppInjectionSecondsWith discounts the extrapolated per-injection RTL
+// cost by a measured campaign replay speedup (checkpoint fast-forward plus
+// dead-site pruning, Telemetry.ReplaySpeedup): the engine only simulates
+// 1/speedup of each faulty run's cycles on average.
+func (c *CostModel) RTLAppInjectionSecondsWith(replaySpeedup float64) float64 {
+	if replaySpeedup < 1 {
+		replaySpeedup = 1
+	}
+	return c.RTLAppInjectionSeconds() / replaySpeedup
+}
+
+// CompareWith renders the §VI comparison for n injections, with the RTL
+// side credited a measured campaign replay speedup.
+func (c *CostModel) CompareWith(n int, replaySpeedup float64) string {
+	rtlTotal := c.RTLAppInjectionSecondsWith(replaySpeedup) * float64(n)
+	swTotal := c.SWInjectionSeconds * float64(n)
+	return fmt.Sprintf(
+		"RTL (%.1fx engine speedup): %.1f s/injection -> %.1f hours for %d injections; software: %.3f s/injection -> %.2f hours; speedup %.0fx",
+		replaySpeedup, c.RTLAppInjectionSecondsWith(replaySpeedup), rtlTotal/3600, n,
+		c.SWInjectionSeconds, swTotal/3600,
+		safeDiv(rtlTotal, swTotal))
+}
+
 // Compare renders the §VI comparison for a campaign of n injections.
 func (c *CostModel) Compare(n int) string {
 	rtlTotal := c.RTLAppInjectionSeconds() * float64(n)

@@ -58,8 +58,9 @@ type Request struct {
 	Faults     int      `json:"faults,omitempty"`      // per micro campaign; default 2000
 	TMXMFaults int      `json:"tmxm_faults,omitempty"` // per t-MxM campaign; default Faults
 	SkipTMXM   bool     `json:"skip_tmxm,omitempty"`
-	Ops        []string `json:"ops,omitempty"`    // opcode subset; default all 12
-	Ranges     []string `json:"ranges,omitempty"` // input-range subset; default S, M, L
+	NoPrune    bool     `json:"no_prune,omitempty"` // disable dead-site pruning (bit-identical results)
+	Ops        []string `json:"ops,omitempty"`      // opcode subset; default all 12
+	Ranges     []string `json:"ranges,omitempty"`   // input-range subset; default S, M, L
 
 	// HPC and CNN jobs.
 	Injections int       `json:"injections,omitempty"` // per unit; default 500
@@ -70,11 +71,15 @@ type Request struct {
 }
 
 // CharUnitResult summarises one completed characterisation unit; the
-// syndromes themselves accumulate in the job's database.
+// syndromes themselves accumulate in the job's database. The cycle
+// counters mirror core.Telemetry and feed the job status aggregate.
 type CharUnitResult struct {
-	Unit  string       `json:"unit"`
-	Seed  uint64       `json:"seed"`
-	Tally faults.Tally `json:"tally"`
+	Unit          string       `json:"unit"`
+	Seed          uint64       `json:"seed"`
+	Tally         faults.Tally `json:"tally"`
+	SimCycles     uint64       `json:"sim_cycles"`
+	SkippedCycles uint64       `json:"skipped_cycles"`
+	PrunedFaults  uint64       `json:"pruned_faults"`
 }
 
 // HPCUnitResult is one completed (application, fault model) campaign.
@@ -177,6 +182,7 @@ func compileCharacterize(req Request) (*program, error) {
 		TMXMFaults:        req.TMXMFaults,
 		Seed:              req.Seed,
 		SkipTMXM:          req.SkipTMXM,
+		NoPrune:           req.NoPrune,
 	}
 	for _, name := range req.Ops {
 		op, ok := parseOp(name)
@@ -209,7 +215,13 @@ func compileCharacterize(req Request) (*program, error) {
 					env.char.AddTMXM(res.TMXM)
 				}
 				env.mu.Unlock()
-				return json.Marshal(CharUnitResult{Unit: cu.Name(), Seed: cu.Seed, Tally: res.Tally()})
+				tel := res.Telemetry()
+				return json.Marshal(CharUnitResult{
+					Unit: cu.Name(), Seed: cu.Seed, Tally: res.Tally(),
+					SimCycles:     tel.SimCycles,
+					SkippedCycles: tel.SkippedCycles,
+					PrunedFaults:  tel.PrunedFaults,
+				})
 			},
 		})
 	}

@@ -264,6 +264,44 @@ func TestResumeBitIdenticalCharacterize(t *testing.T) {
 	}
 }
 
+// TestCharacterizeStatusTelemetry: a characterize job's status must carry
+// the aggregated engine counters (cycles simulated/skipped, dead-pruned
+// faults, derived ratios) once units complete — the HTTP payload used to
+// expose unit counts only.
+func TestCharacterizeStatusTelemetry(t *testing.T) {
+	s := newService(t, Config{Workers: 1})
+	st, err := s.Submit(Request{
+		Kind: KindCharacterize, Seed: 9,
+		Ops: []string{"FADD"}, Ranges: []string{"M"},
+		Faults: 300, SkipTMXM: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 120*time.Second, "characterize job", func() bool {
+		st, _ = s.Get(st.ID)
+		return st.State.Terminal()
+	})
+	if st.State != StateDone {
+		t.Fatalf("job ended %s (error %q)", st.State, st.Error)
+	}
+	if st.RTL == nil {
+		t.Fatal("characterize status carries no RTL telemetry")
+	}
+	if st.RTL.Injections != int(st.Total) {
+		t.Errorf("telemetry injections = %d, want %d", st.RTL.Injections, st.Total)
+	}
+	if st.RTL.SimCycles == 0 || st.RTL.SkippedCycles == 0 {
+		t.Errorf("telemetry cycles not populated: %+v", st.RTL)
+	}
+	if st.RTL.PrunedFaults == 0 || st.RTL.PruneRate <= 0 {
+		t.Errorf("telemetry records no dead-pruned faults: %+v", st.RTL)
+	}
+	if st.RTL.ReplaySpeedup <= 1 {
+		t.Errorf("replay speedup %.2f, want > 1", st.RTL.ReplaySpeedup)
+	}
+}
+
 func TestWorkerPoolSaturation(t *testing.T) {
 	s := newService(t, Config{Workers: 2})
 	const n = 6

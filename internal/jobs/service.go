@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -14,6 +15,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"gpufi/internal/core"
 	"gpufi/internal/syndrome"
 )
 
@@ -114,7 +116,19 @@ type Status struct {
 	UnitsDone  int             `json:"units_done"`
 	UnitsTotal int             `json:"units_total"`
 	Error      string          `json:"error,omitempty"`
+	RTL        *RTLTelemetry   `json:"rtl,omitempty"` // characterize jobs, once a unit completed
 	Result     json.RawMessage `json:"result,omitempty"`
+}
+
+// RTLTelemetry is the status view of a characterize job's engine
+// counters, aggregated over its completed units, with the derived ratios
+// precomputed for JSON consumers. Because the counters live in the
+// journalled unit results, the aggregate survives service restarts and
+// job resumption.
+type RTLTelemetry struct {
+	core.Telemetry
+	ReplaySpeedup float64 `json:"replay_speedup,omitempty"`
+	PruneRate     float64 `json:"prune_rate"`
 }
 
 // Status snapshots the job.
@@ -130,8 +144,39 @@ func (j *Job) Status() Status {
 		UnitsDone:  len(j.completed),
 		UnitsTotal: j.unitsTotal,
 		Error:      j.errMsg,
+		RTL:        j.rtlTelemetry(),
 		Result:     j.result,
 	}
+}
+
+// rtlTelemetry sums the completed characterisation units' engine
+// counters. Caller holds j.mu. Units journalled by older service versions
+// unmarshal their missing counters as zero, which only understates the
+// aggregate.
+func (j *Job) rtlTelemetry() *RTLTelemetry {
+	if j.req.Kind != KindCharacterize || len(j.completed) == 0 {
+		return nil
+	}
+	agg := &RTLTelemetry{}
+	for _, raw := range j.completed {
+		var u CharUnitResult
+		if json.Unmarshal(raw, &u) != nil {
+			continue
+		}
+		agg.Merge(core.Telemetry{
+			Injections:    u.Tally.Injections,
+			SimCycles:     u.SimCycles,
+			SkippedCycles: u.SkippedCycles,
+			PrunedFaults:  u.PrunedFaults,
+		})
+	}
+	// A fully pruned aggregate has an infinite speedup, which JSON cannot
+	// carry; the field is omitted (0) in that corner.
+	if rs := agg.Telemetry.ReplaySpeedup(); !math.IsInf(rs, 1) {
+		agg.ReplaySpeedup = rs
+	}
+	agg.PruneRate = agg.Telemetry.PruneRate()
+	return agg
 }
 
 // bumpDone raises the progress counter to v if v is larger, keeping the

@@ -31,10 +31,11 @@ type Field struct {
 
 // Layout is a module's complete flip-flop map.
 type Layout struct {
-	Name   string
-	Fields []Field
-	Bits   int // total flip-flops
-	byName map[string]int
+	Name    string
+	Fields  []Field
+	Bits    int // total flip-flops
+	byName  map[string]int
+	fieldAt []int32 // absolute bit -> field index
 }
 
 // NewLayout builds a layout from (name, width) pairs, assigning offsets in
@@ -55,6 +56,12 @@ func NewLayout(name string, fields []Field) *Layout {
 		off += f.Width
 	}
 	l.Bits = off
+	l.fieldAt = make([]int32, l.Bits)
+	for i, f := range l.Fields {
+		for b := f.Offset; b < f.Offset+f.Width; b++ {
+			l.fieldAt[b] = int32(i)
+		}
+	}
 	return l
 }
 
@@ -69,12 +76,10 @@ func (l *Layout) MustField(name string) int {
 }
 
 // FieldAt returns the field containing absolute bit position, for fault
-// reporting.
+// reporting and liveness queries.
 func (l *Layout) FieldAt(bit int) Field {
-	for _, f := range l.Fields {
-		if bit >= f.Offset && bit < f.Offset+f.Width {
-			return f
-		}
+	if bit >= 0 && bit < l.Bits {
+		return l.Fields[l.fieldAt[bit]]
 	}
 	return Field{Name: "?", Width: 0, Offset: bit}
 }
@@ -83,6 +88,14 @@ func (l *Layout) FieldAt(bit int) Field {
 type State struct {
 	Lay   *Layout
 	words []uint64
+
+	// live, when non-nil, receives every semantic field access (Get, Set,
+	// Reset — the only paths model logic uses) for golden-run liveness
+	// tracing; liveMod is this module's Liveness slot. Snapshot/Restore
+	// copy raw words and deliberately bypass the trace: they capture
+	// state, they are not dataflow.
+	live    *Liveness
+	liveMod int
 }
 
 // NewState allocates zeroed flip-flops for a layout.
@@ -92,6 +105,9 @@ func NewState(l *Layout) *State {
 
 // Reset clears every flip-flop.
 func (s *State) Reset() {
+	if s.live != nil {
+		s.live.onReset(s.liveMod)
+	}
 	for i := range s.words {
 		s.words[i] = 0
 	}
@@ -99,6 +115,9 @@ func (s *State) Reset() {
 
 // Get reads the field with index fi (from Layout.MustField).
 func (s *State) Get(fi int) uint64 {
+	if s.live != nil {
+		s.live.onRead(s.liveMod, fi)
+	}
 	f := s.Lay.Fields[fi]
 	w, b := f.Offset/64, uint(f.Offset%64)
 	v := s.words[w] >> b
@@ -113,6 +132,9 @@ func (s *State) Get(fi int) uint64 {
 
 // Set writes the field with index fi, truncating v to the field width.
 func (s *State) Set(fi int, v uint64) {
+	if s.live != nil {
+		s.live.onWrite(s.liveMod, fi)
+	}
 	f := s.Lay.Fields[fi]
 	var mask uint64 = ^uint64(0)
 	if f.Width < 64 {

@@ -80,6 +80,7 @@ type Machine struct {
 	machineDone bool
 	globalOwned bool // global was allocated by Restore, not passed to Run
 	pruned      bool // last run stopped early on golden reconvergence
+	live        *Liveness
 
 	// hiDirty is the per-warp dirty high-water mark: every warp at or
 	// above it is in the canonical empty-warp state resetWarp
@@ -301,6 +302,11 @@ func (m *Machine) markWarp(w int) {
 // stepCycle advances the machine one clock cycle, applying any scheduled
 // fault at the cycle boundary.
 func (m *Machine) stepCycle() {
+	if m.live != nil {
+		// Pin this cycle's fault-application point on the liveness
+		// sequence axis, exactly where the FlipBit below would land.
+		m.live.markCycle(m.cycle)
+	}
 	if m.fault != nil && !m.injected && m.cycle == m.fault.Cycle {
 		m.ModuleState(m.fault.Module).FlipBit(m.fault.Bit)
 		m.injected = true

@@ -43,6 +43,13 @@ type Spec struct {
 	// the fast-forward path itself.
 	NoFastForward bool
 
+	// NoPrune disables dead-site pruning: the golden-run liveness
+	// pre-classification that proves a fault Masked when its flip-flop
+	// field is overwritten before any read after the injection cycle.
+	// Results are bit-identical either way (pruning is conservative); the
+	// flag mirrors NoFastForward for regression tests and benchmarks.
+	NoPrune bool
+
 	// Progress, when non-nil, is called after every simulated fault with
 	// the number of completed faults and the campaign total. It is called
 	// concurrently from worker goroutines and calls may arrive with
@@ -78,21 +85,116 @@ type Result struct {
 	GoldenCycles uint64
 
 	// SimCycles counts the cycles actually simulated across all faulty
-	// runs; SkippedCycles counts the cycles the fast-forward provably
-	// avoided: golden-prefix cycles restored from a checkpoint, plus
-	// golden-tail cycles pruned when a masked run reconverged with the
-	// golden state. (SimCycles+SkippedCycles)/SimCycles is the effective
-	// replay speedup of the campaign.
+	// runs; SkippedCycles counts the cycles the engine provably avoided:
+	// golden-prefix cycles restored from a checkpoint, golden-tail cycles
+	// pruned when a masked run reconverged with the golden state, and the
+	// whole goldenCycles replay of every dead-pruned fault.
+	// (SimCycles+SkippedCycles)/SimCycles is the effective replay speedup
+	// of the campaign.
 	SimCycles     uint64
 	SkippedCycles uint64
+
+	// PrunedFaults counts injections classified Masked by the dead-site
+	// liveness analysis alone, with zero simulation (they skip even the
+	// checkpoint restore). Always 0 under Spec.NoPrune.
+	PrunedFaults uint64
 }
 
-// run describes one prepared input draw.
+// ReplaySpeedup returns the campaign's effective replay speedup:
+// total fault-run cycles over cycles actually simulated. 1.0 when
+// nothing was skipped; +Inf when every fault was pruned outright.
+func (r *Result) ReplaySpeedup() float64 { return replaySpeedup(r.SimCycles, r.SkippedCycles) }
+
+// PruneRate returns the share of injections classified by dead-site
+// pruning alone.
+func (r *Result) PruneRate() float64 { return pruneRate(r.PrunedFaults, r.Tally.Injections) }
+
+func replaySpeedup(sim, skipped uint64) float64 {
+	if sim == 0 {
+		if skipped == 0 {
+			return 1
+		}
+		return math.Inf(1)
+	}
+	return float64(sim+skipped) / float64(sim)
+}
+
+func pruneRate(pruned uint64, injections int) float64 {
+	if injections == 0 {
+		return 0
+	}
+	return float64(pruned) / float64(injections)
+}
+
+// inputDraw describes one prepared input draw.
 type inputDraw struct {
 	global       []uint32
 	golden       []uint32
 	goldenCycles uint64
 	ckpts        ckptStore
+	live         *rtl.Liveness // golden-run liveness trace; nil under NoPrune
+}
+
+// prepare runs one draw's golden prefix on a fresh machine: the golden
+// run itself (tracing liveness for dead-site pruning unless noPrune) and
+// the checkpoint-recording replay (unless noFF). d.global must already be
+// populated; everything else is derived here.
+func (d *inputDraw) prepare(prog *kasm.Program, block, sharedWords int, goldenBudget uint64, noFF, noPrune bool) error {
+	m := rtl.New()
+	var live *rtl.Liveness
+	if !noPrune {
+		live = &rtl.Liveness{}
+		m.TraceLiveness(live)
+	}
+	golden := append([]uint32(nil), d.global...)
+	if err := m.Run(prog, 1, block, golden, sharedWords, goldenBudget); err != nil {
+		return fmt.Errorf("rtlfi: golden run failed: %w", err)
+	}
+	// Detach before the checkpoint replay: a Liveness traces exactly one
+	// run, and the replay is the same dataflow anyway.
+	m.TraceLiveness(nil)
+	d.golden = golden
+	d.goldenCycles = m.Cycles()
+	d.live = live
+	if !noFF {
+		cs, err := recordCheckpoints(m, prog, block, d.global, sharedWords, d.goldenCycles)
+		if err != nil {
+			return err
+		}
+		d.ckpts = cs
+	}
+	return nil
+}
+
+// prepareDraws fans the per-draw golden prefixes out across goroutines,
+// one fresh machine per draw. Inputs were drawn serially beforehand, so
+// the spec RNG stream is untouched and the fault list generated
+// afterwards is bit-identical to the old serial path.
+func prepareDraws(draws []*inputDraw, prog *kasm.Program, block, sharedWords int, goldenBudget uint64, noFF, noPrune bool) error {
+	errs := make([]error, len(draws))
+	var wg sync.WaitGroup
+	for i, d := range draws {
+		wg.Add(1)
+		go func(i int, d *inputDraw) {
+			defer wg.Done()
+			errs[i] = d.prepare(prog, block, sharedWords, goldenBudget, noFF, noPrune)
+		}(i, d)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// prunedDead pre-classifies one fault against a draw's liveness trace.
+// A dead fault is Masked with zero simulation; its whole would-be replay
+// (exactly goldenCycles — a dead fault's run is the golden run) lands in
+// SkippedCycles so cycle accounting stays comparable across modes.
+func (d *inputDraw) prunedDead(f rtl.Fault) bool {
+	return d.live != nil && d.live.DeadAt(f.Module, f.Bit, f.Cycle)
 }
 
 // RunMicro executes a micro-benchmark fault-injection campaign. The fault
@@ -116,29 +218,19 @@ func RunMicroCtx(ctx context.Context, spec Spec) (*Result, error) {
 	}
 	rng := stats.NewRNG(spec.Seed)
 
-	// Golden runs, one per input draw; a second, bit-identical replay of
-	// each records the fast-forward checkpoints. Neither pass touches rng
-	// beyond the input draw itself, so the fault list below sees the same
-	// stream as before the optimisation.
+	// Input draws consume the spec RNG serially; the golden runs (with
+	// liveness tracing), plus the bit-identical replays that record the
+	// fast-forward checkpoints, then fan out across draws. Neither pass
+	// touches rng beyond the input draw itself, so the fault list below
+	// sees the same stream as before the optimisation.
 	draws := make([]inputDraw, valuesPerRange)
-	m := rtl.New()
+	dp := make([]*inputDraw, len(draws))
 	for i := range draws {
-		g := MicroInputs(spec.Op, spec.Range, rng)
-		golden := append([]uint32(nil), g...)
-		if err := m.Run(prog, 1, MicroThreads, golden, 0, 1_000_000); err != nil {
-			return nil, fmt.Errorf("rtlfi: golden run failed: %w", err)
-		}
-		draws[i] = inputDraw{global: g, golden: golden, goldenCycles: m.Cycles()}
+		draws[i].global = MicroInputs(spec.Op, spec.Range, rng)
+		dp[i] = &draws[i]
 	}
-	if !spec.NoFastForward {
-		for i := range draws {
-			d := &draws[i]
-			cs, err := recordCheckpoints(m, prog, MicroThreads, d.global, 0, d.goldenCycles)
-			if err != nil {
-				return nil, err
-			}
-			d.ckpts = cs
-		}
+	if err := prepareDraws(dp, prog, MicroThreads, 0, 1_000_000, spec.NoFastForward, spec.NoPrune); err != nil {
+		return nil, err
 	}
 
 	// Deterministic fault list.
@@ -179,6 +271,19 @@ func RunMicroCtx(ctx context.Context, spec Spec) (*Result, error) {
 				}
 				j := jobs[i]
 				d := &draws[j.draw]
+				if d.prunedDead(j.fault) {
+					// Provably dead site: Masked with zero simulation,
+					// exactly what classify records for a bit-identical
+					// faulty run.
+					res.Tally.Add(faults.Masked, 0)
+					res.PrunedFaults++
+					res.SkippedCycles += d.goldenCycles
+					done := int(completed.Add(1))
+					if spec.Progress != nil {
+						spec.Progress(done, len(jobs))
+					}
+					continue
+				}
 				budget := d.goldenCycles*watchdogFactor + 1000
 				machine.Inject(j.fault)
 				var g []uint32
@@ -227,6 +332,7 @@ func RunMicroCtx(ctx context.Context, spec Spec) (*Result, error) {
 		out.Details = append(out.Details, p.Details...)
 		out.SimCycles += p.SimCycles
 		out.SkippedCycles += p.SkippedCycles
+		out.PrunedFaults += p.PrunedFaults
 	}
 	return out, nil
 }
@@ -260,18 +366,28 @@ func classify(res *Result, op isa.Opcode, fault rtl.Fault, machine *rtl.Machine,
 	// output area (e.g. a derailed store) is an SDC too. These records
 	// identify a memory word, not a thread: Thread stays -1 so the §V-B
 	// multiplicity/spatial analyses never mistake a word index for a
-	// thread index.
+	// thread index. One ascending pass over the words not already compared
+	// above — the outputs are clean here (corrupted == 0), so skipping
+	// them changes neither the count nor the first-corrupted record.
 	if corrupted == 0 {
-		for i := range golden {
-			if golden[i] != g[i] {
-				corrupted++
-				if firstWord < 0 {
-					firstWord, firstGold, firstFaulty = i, golden[i], g[i]
+		scan := func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				if golden[i] != g[i] {
+					corrupted++
+					if firstWord < 0 {
+						firstWord, firstGold, firstFaulty = i, golden[i], g[i]
+					}
+					res.Syndromes = append(res.Syndromes, relErrWord(golden[i], g[i], isFloat))
+					res.BitsWrong = append(res.BitsWrong, bits.OnesCount32(golden[i]^g[i]))
 				}
-				res.Syndromes = append(res.Syndromes, relErrWord(golden[i], g[i], isFloat))
-				res.BitsWrong = append(res.BitsWrong, bits.OnesCount32(golden[i]^g[i]))
 			}
 		}
+		next := 0
+		for _, off := range outputOffsets(op) {
+			scan(next, off)
+			next = off + MicroThreads
+		}
+		scan(next, len(golden))
 	}
 	if corrupted == 0 {
 		res.Tally.Add(faults.Masked, 0)

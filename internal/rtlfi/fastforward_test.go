@@ -38,11 +38,13 @@ func assertMicroEqual(t *testing.T, ff, full *Result) {
 
 // TestMicroFastForwardBitIdentical is the checkpoint optimisation's
 // anchor regression: checkpointed campaigns must be byte-identical to
-// full replay, per module family.
+// full replay, per module family. NoPrune on both sides isolates the
+// fast-forward path; prune_test.go covers dead-site pruning and the
+// combined mode.
 func TestMicroFastForwardBitIdentical(t *testing.T) {
 	specs := []Spec{
-		{Op: isa.OpFADD, Range: faults.RangeMedium, Module: faults.ModPipe, NumFaults: 400, Seed: 421},
-		{Op: isa.OpIMUL, Range: faults.RangeLarge, Module: faults.ModSched, NumFaults: 400, Seed: 422},
+		{Op: isa.OpFADD, Range: faults.RangeMedium, Module: faults.ModPipe, NumFaults: 400, Seed: 421, NoPrune: true},
+		{Op: isa.OpIMUL, Range: faults.RangeLarge, Module: faults.ModSched, NumFaults: 400, Seed: 422, NoPrune: true},
 	}
 	for _, spec := range specs {
 		ff, err := RunMicro(spec)
@@ -71,7 +73,7 @@ func TestMicroFastForwardBitIdentical(t *testing.T) {
 // TestTMXMFastForwardBitIdentical mirrors the regression for the t-MxM
 // campaign path.
 func TestTMXMFastForwardBitIdentical(t *testing.T) {
-	spec := TMXMSpec{Module: faults.ModPipe, Kind: 2 /* Random */, NumFaults: 200, Seed: 77}
+	spec := TMXMSpec{Module: faults.ModPipe, Kind: 2 /* Random */, NumFaults: 200, Seed: 77, NoPrune: true}
 	ff, err := RunTMXM(spec)
 	if err != nil {
 		t.Fatal(err)

@@ -29,6 +29,9 @@ type TMXMSpec struct {
 	// see Spec.NoFastForward.
 	NoFastForward bool
 
+	// NoPrune disables dead-site pruning; see Spec.NoPrune.
+	NoPrune bool
+
 	// Progress, when non-nil, is called after every simulated fault; see
 	// Spec.Progress for the concurrency contract.
 	Progress func(done, total int)
@@ -44,10 +47,19 @@ type TMXMResult struct {
 	PatternErrs map[faults.Pattern][]float64
 	GoldenCycles uint64
 
-	// SimCycles / SkippedCycles: see Result.
+	// SimCycles / SkippedCycles / PrunedFaults: see Result.
 	SimCycles     uint64
 	SkippedCycles uint64
+	PrunedFaults  uint64
 }
+
+// ReplaySpeedup returns the campaign's effective replay speedup; see
+// Result.ReplaySpeedup.
+func (r *TMXMResult) ReplaySpeedup() float64 { return replaySpeedup(r.SimCycles, r.SkippedCycles) }
+
+// PruneRate returns the share of injections classified by dead-site
+// pruning alone.
+func (r *TMXMResult) PruneRate() float64 { return pruneRate(r.PrunedFaults, r.Tally.Injections) }
 
 // PatternShare returns the share of multi-element SDCs classified as p,
 // over all multi-element SDCs (Table II normalises over multiple
@@ -82,36 +94,25 @@ func RunTMXMCtx(ctx context.Context, spec TMXMSpec) (*TMXMResult, error) {
 	}
 	rng := stats.NewRNG(spec.Seed)
 
+	// Input draws consume the spec RNG serially; golden runs, liveness
+	// traces and checkpoint replays then fan out across draws (see
+	// prepareDraws for the bit-identity argument).
 	type draw struct {
-		global       []uint32
-		goldenC      []float32
-		goldenCycles uint64
-		ckpts        ckptStore
+		inputDraw
+		goldenC []float32
 	}
 	draws := make([]draw, valuesPerRange)
-	m := rtl.New()
+	dp := make([]*inputDraw, len(draws))
 	for i := range draws {
 		a, b := mxm.TileInputs(spec.Kind, rng.Uint64())
-		g := mxm.Pack(a, b, mxm.Tile)
-		golden := append([]uint32(nil), g...)
-		if err := m.Run(prog, 1, mxm.BlockThreads, golden, mxm.SharedWords, 5_000_000); err != nil {
-			return nil, fmt.Errorf("rtlfi: t-MxM golden run failed: %w", err)
-		}
-		draws[i] = draw{
-			global:       g,
-			goldenC:      mxm.ExtractC(golden, mxm.Tile),
-			goldenCycles: m.Cycles(),
-		}
+		draws[i].global = mxm.Pack(a, b, mxm.Tile)
+		dp[i] = &draws[i].inputDraw
 	}
-	if !spec.NoFastForward {
-		for i := range draws {
-			d := &draws[i]
-			cs, err := recordCheckpoints(m, prog, mxm.BlockThreads, d.global, mxm.SharedWords, d.goldenCycles)
-			if err != nil {
-				return nil, err
-			}
-			d.ckpts = cs
-		}
+	if err := prepareDraws(dp, prog, mxm.BlockThreads, mxm.SharedWords, 5_000_000, spec.NoFastForward, spec.NoPrune); err != nil {
+		return nil, err
+	}
+	for i := range draws {
+		draws[i].goldenC = mxm.ExtractC(draws[i].golden, mxm.Tile)
 	}
 
 	type job struct {
@@ -147,6 +148,13 @@ func RunTMXMCtx(ctx context.Context, spec TMXMSpec) (*TMXMResult, error) {
 			machine := rtl.New()
 			simulate := func(j job) {
 				d := &draws[j.draw]
+				if d.prunedDead(j.fault) {
+					// Provably dead site: Masked with zero simulation.
+					res.Tally.Add(faults.Masked, 0)
+					res.PrunedFaults++
+					res.SkippedCycles += d.goldenCycles
+					return
+				}
 				budget := d.goldenCycles*watchdogFactor + 1000
 				machine.Inject(j.fault)
 				var g []uint32
@@ -222,6 +230,7 @@ func RunTMXMCtx(ctx context.Context, spec TMXMSpec) (*TMXMResult, error) {
 		}
 		out.SimCycles += p.SimCycles
 		out.SkippedCycles += p.SkippedCycles
+		out.PrunedFaults += p.PrunedFaults
 	}
 	return out, nil
 }
