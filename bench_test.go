@@ -441,21 +441,25 @@ func BenchmarkFig7_TMxMAVF(b *testing.B) {
 	}
 }
 
-// rtlfiBenchModes are the three engine configurations the RTL-FI
+// rtlfiBenchModes are the four engine configurations the RTL-FI
 // campaign benchmarks compare: FullReplay is the pre-optimisation path
 // (every faulty run re-simulates the golden prefix from cycle 0),
 // FastForward adds the checkpoint restore, Pruned additionally
 // classifies provably-dead faults from golden-run liveness without
-// simulating them. Results are bit-identical across all three
-// (internal/rtlfi/fastforward_test.go, prune_test.go).
+// simulating them, and Collapsed (the engine default) further tallies
+// fault-equivalence class members from their representative's memo.
+// Results are bit-identical across all four
+// (internal/rtlfi/fastforward_test.go, prune_test.go, collapse_test.go).
 var rtlfiBenchModes = []struct {
-	name    string
-	noFF    bool
-	noPrune bool
+	name       string
+	noFF       bool
+	noPrune    bool
+	noCollapse bool
 }{
-	{"Pruned", false, false},
-	{"FastForward", false, true},
-	{"FullReplay", true, true},
+	{"Collapsed", false, false, false},
+	{"Pruned", false, false, true},
+	{"FastForward", false, true, true},
+	{"FullReplay", true, true, true},
 }
 
 // BenchmarkRTLFI_TMxMCampaign measures the wall-clock of one t-MxM
@@ -468,7 +472,7 @@ func BenchmarkRTLFI_TMxMCampaign(b *testing.B) {
 				res, err := rtlfi.RunTMXM(rtlfi.TMXMSpec{
 					Module: faults.ModPipe, Kind: mxm.TileRandom,
 					NumFaults: 400, Seed: 99,
-					NoFastForward: mode.noFF, NoPrune: mode.noPrune,
+					NoFastForward: mode.noFF, NoPrune: mode.noPrune, NoCollapse: mode.noCollapse,
 				})
 				if err != nil {
 					b.Fatal(err)
@@ -476,6 +480,7 @@ func BenchmarkRTLFI_TMxMCampaign(b *testing.B) {
 				if i == 0 {
 					b.ReportMetric(res.ReplaySpeedup(), "replay-speedup")
 					b.ReportMetric(res.PruneRate(), "prune-rate")
+					b.ReportMetric(res.CollapseRate(), "collapse-rate")
 				}
 			}
 		})
@@ -555,7 +560,7 @@ func BenchmarkRTLFI_MicroCampaign(b *testing.B) {
 					res, err := rtlfi.RunMicro(rtlfi.Spec{
 						Op: isa.OpFFMA, Range: faults.RangeMedium, Module: spec.mod,
 						NumFaults: 1000, Seed: 98,
-						NoFastForward: mode.noFF, NoPrune: mode.noPrune,
+						NoFastForward: mode.noFF, NoPrune: mode.noPrune, NoCollapse: mode.noCollapse,
 					})
 					if err != nil {
 						b.Fatal(err)
@@ -563,10 +568,40 @@ func BenchmarkRTLFI_MicroCampaign(b *testing.B) {
 					if i == 0 {
 						b.ReportMetric(res.ReplaySpeedup(), "replay-speedup")
 						b.ReportMetric(res.PruneRate(), "prune-rate")
+						b.ReportMetric(res.CollapseRate(), "collapse-rate")
 					}
 				}
 			})
 		}
+	}
+}
+
+// BenchmarkRTLFI_MicroCampaignPipeDense is the collapse-friendly spec:
+// a long-running SFU op holds the pipeline registers live across its
+// whole iteration loop, and at this fault density the (draw, bit, read
+// gap) equivalence classes saturate, so a meaningful share of live
+// faults is tallied from memos instead of simulated. Only the two modes
+// that finish in reasonable time at this density run; the cheap modes'
+// absolute comparison lives in BenchmarkRTLFI_MicroCampaign.
+func BenchmarkRTLFI_MicroCampaignPipeDense(b *testing.B) {
+	for _, mode := range rtlfiBenchModes[:2] {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := rtlfi.RunMicro(rtlfi.Spec{
+					Op: isa.OpFSIN, Range: faults.RangeMedium, Module: faults.ModPipe,
+					NumFaults: 1_000_000, Seed: 98,
+					NoFastForward: mode.noFF, NoPrune: mode.noPrune, NoCollapse: mode.noCollapse,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.ReportMetric(res.ReplaySpeedup(), "replay-speedup")
+					b.ReportMetric(res.PruneRate(), "prune-rate")
+					b.ReportMetric(res.CollapseRate(), "collapse-rate")
+				}
+			}
+		})
 	}
 }
 

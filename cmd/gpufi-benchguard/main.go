@@ -1,0 +1,163 @@
+// Command gpufi-benchguard is the CI bench-regression gate: it parses
+// `go test -bench` output and compares every RTLFI_/SWFI_ benchmark
+// against the committed BENCH_*.json baselines, failing (exit 1) when any
+// benchmark's ns/op regresses beyond the allowed factor.
+//
+// Usage:
+//
+//	go test -run '^$' -bench 'RTLFI_|SWFI_' -benchtime 1x . | tee bench.out
+//	gpufi-benchguard [-max-ratio 2.5] [-baselines BENCH_rtlfi.json,BENCH_swfi.json] bench.out
+//
+// With no file argument the bench output is read from stdin.
+//
+// The factor is deliberately loose (default 2.5x): CI runners are slower
+// and noisier than the machine that recorded the baselines, and a
+// single-iteration -benchtime 1x run jitters. The gate exists to catch
+// order-of-magnitude engine regressions — an accidentally disabled
+// fast-forward, pruning or collapsing path multiplies wall-clock several
+// times over and clears the threshold on any hardware. Benchmarks present
+// in only one side (new rows not yet baselined, baselines not exercised
+// by the CI filter) are skipped, never failed.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// baselineFile is the subset of the gpufi-bench/v1 schema the guard
+// needs: benchmark names and their recorded ns/op.
+type baselineFile struct {
+	Schema     string `json:"schema"`
+	Benchmarks []struct {
+		Name    string  `json:"name"`
+		NsPerOp float64 `json:"ns_per_op"`
+	} `json:"benchmarks"`
+}
+
+// benchLine matches one `go test -bench` result line, e.g.
+//
+//	BenchmarkRTLFI_MicroCampaign/Pipe/Pruned-4    3    9653715 ns/op    79.77 replay-speedup
+//
+// The trailing -N is GOMAXPROCS, not part of the benchmark's identity.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("gpufi-benchguard: ")
+
+	maxRatio := flag.Float64("max-ratio", 2.5, "fail when measured ns/op exceeds baseline by more than this factor")
+	baselines := flag.String("baselines", "BENCH_rtlfi.json,BENCH_swfi.json", "comma-separated baseline files (gpufi-bench/v1)")
+	flag.Parse()
+
+	base, err := loadBaselines(strings.Split(*baselines, ","))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	in := io.Reader(os.Stdin)
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	measured, err := parseBench(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(measured) == 0 {
+		log.Fatal("no benchmark result lines found in input")
+	}
+
+	failed := 0
+	checked := 0
+	for name, ns := range measured {
+		if !guarded(name) {
+			continue
+		}
+		baseNs, ok := base[name]
+		if !ok {
+			continue // not baselined yet (e.g. a freshly added mode)
+		}
+		checked++
+		ratio := ns / baseNs
+		if ratio > *maxRatio {
+			failed++
+			log.Printf("FAIL %s: %.0f ns/op vs baseline %.0f (%.2fx > %.2fx allowed)",
+				name, ns, baseNs, ratio, *maxRatio)
+		}
+	}
+	if checked == 0 {
+		log.Fatal("no guarded benchmarks matched a baseline; check -baselines and the bench filter")
+	}
+	if failed > 0 {
+		log.Fatalf("%d of %d guarded benchmarks regressed beyond %.2fx", failed, checked, *maxRatio)
+	}
+	fmt.Printf("gpufi-benchguard: %d guarded benchmarks within %.2fx of baseline\n", checked, *maxRatio)
+}
+
+// guarded reports whether the gate applies to a benchmark: the RTL and
+// software fault-injection engine families.
+func guarded(name string) bool {
+	return strings.HasPrefix(name, "BenchmarkRTLFI_") || strings.HasPrefix(name, "BenchmarkSWFI_")
+}
+
+func loadBaselines(paths []string) (map[string]float64, error) {
+	base := make(map[string]float64)
+	for _, p := range paths {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		raw, err := os.ReadFile(p)
+		if err != nil {
+			return nil, err
+		}
+		var bf baselineFile
+		if err := json.Unmarshal(raw, &bf); err != nil {
+			return nil, fmt.Errorf("%s: %w", p, err)
+		}
+		if !strings.HasPrefix(bf.Schema, "gpufi-bench/") {
+			return nil, fmt.Errorf("%s: unexpected schema %q", p, bf.Schema)
+		}
+		for _, b := range bf.Benchmarks {
+			if b.NsPerOp > 0 {
+				base[b.Name] = b.NsPerOp
+			}
+		}
+	}
+	return base, nil
+}
+
+func parseBench(r io.Reader) (map[string]float64, error) {
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		// go test repeats a benchmark under -count; keep the fastest run,
+		// the least noisy estimate of the achievable cost.
+		if old, ok := out[m[1]]; !ok || ns < old {
+			out[m[1]] = ns
+		}
+	}
+	return out, sc.Err()
+}

@@ -36,6 +36,7 @@ type CharacterizeConfig struct {
 	Ranges            []faults.InputRange // default: S, M, L
 	SkipTMXM          bool                // skip the t-MxM campaigns (micro-benchmarks only)
 	NoPrune           bool                // disable dead-site pruning (see rtlfi.Spec.NoPrune)
+	NoCollapse        bool                // disable fault-equivalence collapsing (see rtlfi.Spec.NoCollapse)
 
 	// Progress, when non-nil, receives fault-level progress aggregated
 	// over the whole characterisation plan. It may be called concurrently
@@ -80,14 +81,15 @@ const (
 // any order — or skipped and re-run after an interruption — and still
 // reproduce exactly the campaign an uninterrupted Characterize would run.
 type Unit struct {
-	Kind    UnitKind
-	Op      isa.Opcode        // UnitMicro only
-	Range   faults.InputRange // UnitMicro only
-	Module  faults.Module
-	Tile    mxm.TileKind // UnitTMXM only
-	Faults  int
-	Seed    uint64
-	NoPrune bool // campaign results are bit-identical either way
+	Kind       UnitKind
+	Op         isa.Opcode        // UnitMicro only
+	Range      faults.InputRange // UnitMicro only
+	Module     faults.Module
+	Tile       mxm.TileKind // UnitTMXM only
+	Faults     int
+	Seed       uint64
+	NoPrune    bool // campaign results are bit-identical either way
+	NoCollapse bool // disable fault-equivalence collapsing; bit-identical either way
 }
 
 // Name returns the unit's stable identifier, used as the checkpoint key
@@ -153,13 +155,15 @@ func (r *UnitResult) Tally() faults.Tally {
 // Telemetry is the RTL campaign engine's cycle accounting, aggregated
 // over one or more campaigns: cycles actually simulated, cycles provably
 // skipped (checkpoint fast-forward, golden reconvergence, dead-site
-// pruning), and the injections dead-site pruning classified with zero
-// simulation. The JSON form is served verbatim by the jobs API.
+// pruning, equivalence collapsing), and the injections classified with
+// zero simulation by dead-site pruning and by fault-equivalence
+// collapsing. The JSON form is served verbatim by the jobs API.
 type Telemetry struct {
-	Injections    int    `json:"injections"`
-	SimCycles     uint64 `json:"sim_cycles"`
-	SkippedCycles uint64 `json:"skipped_cycles"`
-	PrunedFaults  uint64 `json:"pruned_faults"`
+	Injections      int    `json:"injections"`
+	SimCycles       uint64 `json:"sim_cycles"`
+	SkippedCycles   uint64 `json:"skipped_cycles"`
+	PrunedFaults    uint64 `json:"pruned_faults"`
+	CollapsedFaults uint64 `json:"collapsed_faults"`
 }
 
 // Merge accumulates another campaign's counters.
@@ -168,6 +172,7 @@ func (t *Telemetry) Merge(o Telemetry) {
 	t.SimCycles += o.SimCycles
 	t.SkippedCycles += o.SkippedCycles
 	t.PrunedFaults += o.PrunedFaults
+	t.CollapsedFaults += o.CollapsedFaults
 }
 
 // ReplaySpeedup returns total fault-run cycles over cycles actually
@@ -190,21 +195,32 @@ func (t Telemetry) PruneRate() float64 {
 	return float64(t.PrunedFaults) / float64(t.Injections)
 }
 
+// CollapseRate returns the share of injections fault-equivalence
+// collapsing classified from a memoized representative.
+func (t Telemetry) CollapseRate() float64 {
+	if t.Injections == 0 {
+		return 0
+	}
+	return float64(t.CollapsedFaults) / float64(t.Injections)
+}
+
 // Telemetry returns the unit's engine counters regardless of kind.
 func (r *UnitResult) Telemetry() Telemetry {
 	if r.Micro != nil {
 		return Telemetry{
-			Injections:    r.Micro.Tally.Injections,
-			SimCycles:     r.Micro.SimCycles,
-			SkippedCycles: r.Micro.SkippedCycles,
-			PrunedFaults:  r.Micro.PrunedFaults,
+			Injections:      r.Micro.Tally.Injections,
+			SimCycles:       r.Micro.SimCycles,
+			SkippedCycles:   r.Micro.SkippedCycles,
+			PrunedFaults:    r.Micro.PrunedFaults,
+			CollapsedFaults: r.Micro.CollapsedFaults,
 		}
 	}
 	return Telemetry{
-		Injections:    r.TMXM.Tally.Injections,
-		SimCycles:     r.TMXM.SimCycles,
-		SkippedCycles: r.TMXM.SkippedCycles,
-		PrunedFaults:  r.TMXM.PrunedFaults,
+		Injections:      r.TMXM.Tally.Injections,
+		SimCycles:       r.TMXM.SimCycles,
+		SkippedCycles:   r.TMXM.SkippedCycles,
+		PrunedFaults:    r.TMXM.PrunedFaults,
+		CollapsedFaults: r.TMXM.CollapsedFaults,
 	}
 }
 
@@ -214,18 +230,20 @@ func (c *Characterization) Telemetry() Telemetry {
 	var t Telemetry
 	for _, r := range c.Micro {
 		t.Merge(Telemetry{
-			Injections:    r.Tally.Injections,
-			SimCycles:     r.SimCycles,
-			SkippedCycles: r.SkippedCycles,
-			PrunedFaults:  r.PrunedFaults,
+			Injections:      r.Tally.Injections,
+			SimCycles:       r.SimCycles,
+			SkippedCycles:   r.SkippedCycles,
+			PrunedFaults:    r.PrunedFaults,
+			CollapsedFaults: r.CollapsedFaults,
 		})
 	}
 	for _, r := range c.TMXM {
 		t.Merge(Telemetry{
-			Injections:    r.Tally.Injections,
-			SimCycles:     r.SimCycles,
-			SkippedCycles: r.SkippedCycles,
-			PrunedFaults:  r.PrunedFaults,
+			Injections:      r.Tally.Injections,
+			SimCycles:       r.SimCycles,
+			SkippedCycles:   r.SkippedCycles,
+			PrunedFaults:    r.PrunedFaults,
+			CollapsedFaults: r.CollapsedFaults,
 		})
 	}
 	return t
@@ -239,7 +257,7 @@ func RunUnit(ctx context.Context, u Unit, workers int, progress func(done, total
 		res, err := rtlfi.RunMicroCtx(ctx, rtlfi.Spec{
 			Op: u.Op, Range: u.Range, Module: u.Module,
 			NumFaults: u.Faults, Seed: u.Seed, Workers: workers,
-			NoPrune: u.NoPrune, Progress: progress,
+			NoPrune: u.NoPrune, NoCollapse: u.NoCollapse, Progress: progress,
 		})
 		if err != nil {
 			return nil, err
@@ -249,7 +267,7 @@ func RunUnit(ctx context.Context, u Unit, workers int, progress func(done, total
 		res, err := rtlfi.RunTMXMCtx(ctx, rtlfi.TMXMSpec{
 			Module: u.Module, Kind: u.Tile,
 			NumFaults: u.Faults, Seed: u.Seed, Workers: workers,
-			NoPrune: u.NoPrune, Progress: progress,
+			NoPrune: u.NoPrune, NoCollapse: u.NoCollapse, Progress: progress,
 		})
 		if err != nil {
 			return nil, err

@@ -58,9 +58,10 @@ type Request struct {
 	Faults     int      `json:"faults,omitempty"`      // per micro campaign; default 2000
 	TMXMFaults int      `json:"tmxm_faults,omitempty"` // per t-MxM campaign; default Faults
 	SkipTMXM   bool     `json:"skip_tmxm,omitempty"`
-	NoPrune    bool     `json:"no_prune,omitempty"` // disable dead-site pruning (bit-identical results)
-	Ops        []string `json:"ops,omitempty"`      // opcode subset; default all 12
-	Ranges     []string `json:"ranges,omitempty"`   // input-range subset; default S, M, L
+	NoPrune    bool     `json:"no_prune,omitempty"`    // disable dead-site pruning (bit-identical results)
+	NoCollapse bool     `json:"no_collapse,omitempty"` // disable fault-equivalence collapsing (bit-identical results)
+	Ops        []string `json:"ops,omitempty"`         // opcode subset; default all 12
+	Ranges     []string `json:"ranges,omitempty"`      // input-range subset; default S, M, L
 
 	// HPC and CNN jobs.
 	Injections int       `json:"injections,omitempty"` // per unit; default 500
@@ -74,26 +75,32 @@ type Request struct {
 // syndromes themselves accumulate in the job's database. The cycle
 // counters mirror core.Telemetry and feed the job status aggregate.
 type CharUnitResult struct {
-	Unit          string       `json:"unit"`
-	Seed          uint64       `json:"seed"`
-	Tally         faults.Tally `json:"tally"`
-	SimCycles     uint64       `json:"sim_cycles"`
-	SkippedCycles uint64       `json:"skipped_cycles"`
-	PrunedFaults  uint64       `json:"pruned_faults"`
+	Unit            string       `json:"unit"`
+	Seed            uint64       `json:"seed"`
+	Tally           faults.Tally `json:"tally"`
+	SimCycles       uint64       `json:"sim_cycles"`
+	SkippedCycles   uint64       `json:"skipped_cycles"`
+	PrunedFaults    uint64       `json:"pruned_faults"`
+	CollapsedFaults uint64       `json:"collapsed_faults"`
 }
 
 // HPCUnitResult is one completed (application, fault model) campaign.
+// The instruction counters mirror swfi.Result and feed the job status
+// aggregate's sw telemetry block.
 type HPCUnitResult struct {
-	App   string       `json:"app"`
-	Model string       `json:"model"`
-	Seed  uint64       `json:"seed"`
-	Tally faults.Tally `json:"tally"`
-	PVF   float64      `json:"pvf"`
-	CILo  float64      `json:"ci_lo"`
-	CIHi  float64      `json:"ci_hi"`
+	App           string       `json:"app"`
+	Model         string       `json:"model"`
+	Seed          uint64       `json:"seed"`
+	Tally         faults.Tally `json:"tally"`
+	PVF           float64      `json:"pvf"`
+	CILo          float64      `json:"ci_lo"`
+	CIHi          float64      `json:"ci_hi"`
+	SimInstrs     uint64       `json:"sim_instrs"`
+	SkippedInstrs uint64       `json:"skipped_instrs"`
 }
 
-// CNNUnitResult is one completed (network, fault model) campaign.
+// CNNUnitResult is one completed (network, fault model) campaign. The
+// instruction counters mirror swfi.CNNResult; see HPCUnitResult.
 type CNNUnitResult struct {
 	Network       string       `json:"network"`
 	Model         string       `json:"model"`
@@ -102,6 +109,8 @@ type CNNUnitResult struct {
 	PVF           float64      `json:"pvf"`
 	CriticalSDC   int          `json:"critical_sdc"`
 	CriticalShare float64      `json:"critical_share"`
+	SimInstrs     uint64       `json:"sim_instrs"`
+	SkippedInstrs uint64       `json:"skipped_instrs"`
 }
 
 // Result is a finished job's deliverable: the per-unit results in plan
@@ -183,6 +192,7 @@ func compileCharacterize(req Request) (*program, error) {
 		Seed:              req.Seed,
 		SkipTMXM:          req.SkipTMXM,
 		NoPrune:           req.NoPrune,
+		NoCollapse:        req.NoCollapse,
 	}
 	for _, name := range req.Ops {
 		op, ok := parseOp(name)
@@ -218,9 +228,10 @@ func compileCharacterize(req Request) (*program, error) {
 				tel := res.Telemetry()
 				return json.Marshal(CharUnitResult{
 					Unit: cu.Name(), Seed: cu.Seed, Tally: res.Tally(),
-					SimCycles:     tel.SimCycles,
-					SkippedCycles: tel.SkippedCycles,
-					PrunedFaults:  tel.PrunedFaults,
+					SimCycles:       tel.SimCycles,
+					SkippedCycles:   tel.SkippedCycles,
+					PrunedFaults:    tel.PrunedFaults,
+					CollapsedFaults: tel.CollapsedFaults,
 				})
 			},
 		})
@@ -278,6 +289,8 @@ func compileHPC(req Request) (*program, error) {
 					return json.Marshal(HPCUnitResult{
 						App: spec.Name, Model: mname, Seed: seed,
 						Tally: res.Tally, PVF: res.PVF(), CILo: lo, CIHi: hi,
+						SimInstrs:     res.SimInstrs,
+						SkippedInstrs: res.SkippedInstrs,
 					})
 				},
 			})
@@ -330,6 +343,8 @@ func compileCNN(req Request) (*program, error) {
 					Network: network, Model: mname, Seed: seed,
 					Tally: res.Tally, PVF: res.PVF(),
 					CriticalSDC: res.CriticalSDC, CriticalShare: res.CriticalShare(),
+					SimInstrs:     res.SimInstrs,
+					SkippedInstrs: res.SkippedInstrs,
 				})
 			},
 		})

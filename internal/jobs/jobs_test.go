@@ -300,6 +300,48 @@ func TestCharacterizeStatusTelemetry(t *testing.T) {
 	if st.RTL.ReplaySpeedup <= 1 {
 		t.Errorf("replay speedup %.2f, want > 1", st.RTL.ReplaySpeedup)
 	}
+	if st.RTL.CollapseRate < 0 || st.RTL.CollapseRate > 1 {
+		t.Errorf("collapse rate %.3f outside [0, 1]", st.RTL.CollapseRate)
+	}
+	if st.SW != nil {
+		t.Errorf("characterize status carries a software telemetry block: %+v", st.SW)
+	}
+}
+
+// TestSWStatusTelemetry: hpc and cnn job statuses must carry the
+// aggregated software-campaign instruction counters and the derived
+// fast-forward speedup, mirroring the characterize jobs' rtl block.
+func TestSWStatusTelemetry(t *testing.T) {
+	s := newService(t, Config{Workers: 1})
+	st, err := s.Submit(smallHPC())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 120*time.Second, "hpc job", func() bool {
+		st, _ = s.Get(st.ID)
+		return st.State.Terminal()
+	})
+	if st.State != StateDone {
+		t.Fatalf("job ended %s (error %q)", st.State, st.Error)
+	}
+	if st.SW == nil {
+		t.Fatal("hpc status carries no software telemetry")
+	}
+	if st.SW.Injections != int(st.Total) {
+		t.Errorf("telemetry injections = %d, want %d", st.SW.Injections, st.Total)
+	}
+	if st.SW.SimInstrs == 0 {
+		t.Errorf("telemetry instruction counters not populated: %+v", st.SW)
+	}
+	if st.SW.SkippedInstrs == 0 {
+		t.Errorf("fast-forward skipped no instructions: %+v", st.SW)
+	}
+	if st.SW.FFSpeedup <= 1 {
+		t.Errorf("ff speedup %.2f, want > 1", st.SW.FFSpeedup)
+	}
+	if st.RTL != nil {
+		t.Errorf("hpc status carries an RTL telemetry block: %+v", st.RTL)
+	}
 }
 
 func TestWorkerPoolSaturation(t *testing.T) {

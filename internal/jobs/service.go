@@ -13,6 +13,8 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+
+	"gpufi/internal/faults"
 	"time"
 
 	"gpufi/internal/core"
@@ -117,6 +119,7 @@ type Status struct {
 	UnitsTotal int             `json:"units_total"`
 	Error      string          `json:"error,omitempty"`
 	RTL        *RTLTelemetry   `json:"rtl,omitempty"` // characterize jobs, once a unit completed
+	SW         *SWTelemetry    `json:"sw,omitempty"`  // hpc/cnn jobs, once a unit completed
 	Result     json.RawMessage `json:"result,omitempty"`
 }
 
@@ -129,6 +132,19 @@ type RTLTelemetry struct {
 	core.Telemetry
 	ReplaySpeedup float64 `json:"replay_speedup,omitempty"`
 	PruneRate     float64 `json:"prune_rate"`
+	CollapseRate  float64 `json:"collapse_rate"`
+}
+
+// SWTelemetry is the status view of a software-level (HPC or CNN) job's
+// instruction counters, aggregated over its completed units: instructions
+// actually interpreted, instructions provably skipped by checkpoint
+// fast-forward, and the derived fast-forward speedup. It mirrors the rtl
+// block, including restart survival via the journalled unit results.
+type SWTelemetry struct {
+	Injections    int     `json:"injections"`
+	SimInstrs     uint64  `json:"sim_instrs"`
+	SkippedInstrs uint64  `json:"skipped_instrs"`
+	FFSpeedup     float64 `json:"ff_speedup,omitempty"`
 }
 
 // Status snapshots the job.
@@ -145,6 +161,7 @@ func (j *Job) Status() Status {
 		UnitsTotal: j.unitsTotal,
 		Error:      j.errMsg,
 		RTL:        j.rtlTelemetry(),
+		SW:         j.swTelemetry(),
 		Result:     j.result,
 	}
 }
@@ -164,10 +181,11 @@ func (j *Job) rtlTelemetry() *RTLTelemetry {
 			continue
 		}
 		agg.Merge(core.Telemetry{
-			Injections:    u.Tally.Injections,
-			SimCycles:     u.SimCycles,
-			SkippedCycles: u.SkippedCycles,
-			PrunedFaults:  u.PrunedFaults,
+			Injections:      u.Tally.Injections,
+			SimCycles:       u.SimCycles,
+			SkippedCycles:   u.SkippedCycles,
+			PrunedFaults:    u.PrunedFaults,
+			CollapsedFaults: u.CollapsedFaults,
 		})
 	}
 	// A fully pruned aggregate has an infinite speedup, which JSON cannot
@@ -176,6 +194,37 @@ func (j *Job) rtlTelemetry() *RTLTelemetry {
 		agg.ReplaySpeedup = rs
 	}
 	agg.PruneRate = agg.Telemetry.PruneRate()
+	agg.CollapseRate = agg.Telemetry.CollapseRate()
+	return agg
+}
+
+// swTelemetry sums the completed software-campaign units' instruction
+// counters. Caller holds j.mu. HPC and CNN unit results share the two
+// counter fields, so one probe struct decodes both; older journal records
+// without them unmarshal as zero, which only understates the aggregate.
+func (j *Job) swTelemetry() *SWTelemetry {
+	if (j.req.Kind != KindHPC && j.req.Kind != KindCNN) || len(j.completed) == 0 {
+		return nil
+	}
+	agg := &SWTelemetry{}
+	for _, raw := range j.completed {
+		var u struct {
+			Tally         faults.Tally `json:"tally"`
+			SimInstrs     uint64       `json:"sim_instrs"`
+			SkippedInstrs uint64       `json:"skipped_instrs"`
+		}
+		if json.Unmarshal(raw, &u) != nil {
+			continue
+		}
+		agg.Injections += u.Tally.Injections
+		agg.SimInstrs += u.SimInstrs
+		agg.SkippedInstrs += u.SkippedInstrs
+	}
+	// Mirror the rtl block's corner case: an all-skipped aggregate has an
+	// infinite speedup, which JSON cannot carry; the field is omitted (0).
+	if agg.SimInstrs > 0 {
+		agg.FFSpeedup = float64(agg.SimInstrs+agg.SkippedInstrs) / float64(agg.SimInstrs)
+	}
 	return agg
 }
 

@@ -1,0 +1,150 @@
+package rtl
+
+import (
+	"testing"
+
+	"gpufi/internal/faults"
+)
+
+// liveHarness drives a Liveness with a hand-written access schedule the
+// way Machine.stepCycle would: markCycle pins the cycle's fault
+// application point, then the cycle's "phase logic" touches the state.
+// It gives the boundary-semantics tests full control over where reads,
+// writes and resets land relative to fault sites.
+type liveHarness struct {
+	l  *Liveness
+	st *State
+	f  int // the single field's index
+}
+
+func newLiveHarness() *liveHarness {
+	lay := NewLayout("test", []Field{{Name: "f", Width: 4}})
+	st := NewState(lay)
+	l := &Liveness{}
+	mi := moduleIndex(faults.ModFP32)
+	l.mods[mi].init(lay)
+	st.live, st.liveMod = l, mi
+	return &liveHarness{l: l, st: st, f: lay.MustField("f")}
+}
+
+func (h *liveHarness) cycle(accesses ...func()) {
+	h.l.markCycle(uint64(len(h.l.cycleStart)))
+	for _, a := range accesses {
+		a()
+	}
+}
+
+func (h *liveHarness) read() func()  { return func() { h.st.Get(h.f) } }
+func (h *liveHarness) write() func() { return func() { h.st.Set(h.f, 1) } }
+func (h *liveHarness) reset() func() { return func() { h.st.Reset() } }
+
+// TestLivenessBoundarySemantics pins DeadAt and GapAt at every boundary
+// the engine depends on: a fault at the cycle of a write event, at the
+// cycle of a read event, at a Reset, and at the traced run's last cycle.
+func TestLivenessBoundarySemantics(t *testing.T) {
+	h := newLiveHarness()
+	h.cycle(h.write()) // cycle 0: write
+	h.cycle(h.read())  // cycle 1: read
+	h.cycle(h.read())  // cycle 2: read
+	h.cycle(h.write()) // cycle 3: overwrite
+	h.cycle()          // cycle 4: idle
+	h.cycle(h.read())  // cycle 5: read
+	h.cycle(h.reset()) // cycle 6: whole-module Reset
+	h.cycle(h.read())  // cycle 7: read
+	h.cycle()          // cycle 8: last cycle, idle
+
+	cases := []struct {
+		name  string
+		cycle uint64
+		dead  bool
+		gap   int // meaningful only when !dead
+	}{
+		// A fault lands at the *start* of its cycle, so a same-cycle
+		// write event overwrites it: provably dead.
+		{"at write cycle (pre-overwrite)", 0, true, 0},
+		// A same-cycle read event happens after the cycle start, so it is
+		// the corrupted value's first observation: live, first gap.
+		{"at read cycle (first gap)", 1, false, 0},
+		// The next read opens the next gap: cycles 1 and 2 must not
+		// collapse together.
+		{"between reads (second gap)", 2, false, 1},
+		// Overwrite cycle again, now after a live span closed.
+		{"at overwrite cycle", 3, true, 0},
+		// An idle cycle and the following read cycle corrupt the same
+		// stored value and are first observed by the same read: one gap.
+		{"idle before read", 4, false, 2},
+		{"at that read cycle", 5, false, 2},
+		// Reset writes every field: a fault at the Reset cycle dies.
+		{"at Reset cycle", 6, true, 0},
+		// The post-Reset value is read once more: live, a fresh gap.
+		{"after Reset", 7, false, 3},
+		// Never read after the last access: dead at the last cycle.
+		{"last cycle (never read again)", 8, true, 0},
+	}
+	for _, tc := range cases {
+		dead := h.l.DeadAt(faults.ModFP32, 0, tc.cycle)
+		gap, ok := h.l.GapAt(faults.ModFP32, 0, tc.cycle)
+		if dead != tc.dead {
+			t.Errorf("%s: DeadAt(cycle %d) = %v, want %v", tc.name, tc.cycle, dead, tc.dead)
+		}
+		if ok != !tc.dead {
+			t.Errorf("%s: GapAt(cycle %d) ok = %v, want %v (must agree with DeadAt)", tc.name, tc.cycle, ok, !tc.dead)
+		}
+		if ok && gap != tc.gap {
+			t.Errorf("%s: GapAt(cycle %d) = %d, want gap %d", tc.name, tc.cycle, gap, tc.gap)
+		}
+	}
+
+	if got := h.l.Cycles(); got != 9 {
+		t.Fatalf("Cycles() = %d, want 9", got)
+	}
+}
+
+// TestLivenessOutOfRange pins the conservative disagreement outside the
+// traced run: DeadAt cannot prove such a site dead (false), and GapAt
+// cannot collapse it (ok=false) — each unprovable case falls back to the
+// safe side of its own consumer.
+func TestLivenessOutOfRange(t *testing.T) {
+	h := newLiveHarness()
+	h.cycle(h.write())
+	h.cycle(h.read())
+
+	if h.l.DeadAt(faults.ModFP32, 0, 99) {
+		t.Error("DeadAt past the traced run must conservatively report live")
+	}
+	if _, ok := h.l.GapAt(faults.ModFP32, 0, 99); ok {
+		t.Error("GapAt past the traced run must report ok=false")
+	}
+	for _, bit := range []int{-1, 4, 1 << 20} {
+		if h.l.DeadAt(faults.ModFP32, bit, 1) {
+			t.Errorf("DeadAt(bit %d) outside the layout must report live", bit)
+		}
+		if _, ok := h.l.GapAt(faults.ModFP32, bit, 1); ok {
+			t.Errorf("GapAt(bit %d) outside the layout must report ok=false", bit)
+		}
+	}
+}
+
+// TestLivenessGapAgreesWithDeadAt sweeps a real traced run and checks the
+// structural invariant collapse relies on: GapAt returns ok exactly when
+// DeadAt reports the site live, for every bit and cycle.
+func TestLivenessGapAgreesWithDeadAt(t *testing.T) {
+	h := newLiveHarness()
+	h.cycle(h.write())
+	h.cycle(h.read(), h.write())
+	h.cycle()
+	h.cycle(h.read())
+	h.cycle(h.reset(), h.write())
+	h.cycle(h.read(), h.read()) // double read in one cycle: one boundary
+	h.cycle()
+
+	for cycle := uint64(0); cycle < h.l.Cycles(); cycle++ {
+		for bit := 0; bit < h.st.Lay.Bits; bit++ {
+			dead := h.l.DeadAt(faults.ModFP32, bit, cycle)
+			_, ok := h.l.GapAt(faults.ModFP32, bit, cycle)
+			if ok == dead {
+				t.Fatalf("bit %d cycle %d: GapAt ok=%v but DeadAt=%v", bit, cycle, ok, dead)
+			}
+		}
+	}
+}

@@ -7,7 +7,6 @@ import (
 	"math/bits"
 	"runtime"
 	"sync"
-	"sync/atomic"
 
 	"gpufi/internal/faults"
 	"gpufi/internal/fp32"
@@ -48,7 +47,17 @@ type Spec struct {
 	// field is overwritten before any read after the injection cycle.
 	// Results are bit-identical either way (pruning is conservative); the
 	// flag mirrors NoFastForward for regression tests and benchmarks.
+	// NoPrune also disables equivalence collapsing, which needs the same
+	// liveness trace.
 	NoPrune bool
+
+	// NoCollapse disables fault-equivalence collapsing: the read-gap
+	// analysis that simulates only one representative per class of
+	// provably trajectory-identical faults (same draw, bit and inter-read
+	// gap) and tallies the rest from its memoized outcome. Results are
+	// bit-identical either way; the flag mirrors NoPrune/NoFastForward
+	// for regression tests and benchmarks.
+	NoCollapse bool
 
 	// Progress, when non-nil, is called after every simulated fault with
 	// the number of completed faults and the campaign total. It is called
@@ -98,6 +107,12 @@ type Result struct {
 	// liveness analysis alone, with zero simulation (they skip even the
 	// checkpoint restore). Always 0 under Spec.NoPrune.
 	PrunedFaults uint64
+
+	// CollapsedFaults counts injections tallied from a fault-equivalence
+	// class memo instead of being simulated: trajectory-identical to an
+	// already-simulated representative, their full replay cost lands in
+	// SkippedCycles. Always 0 under Spec.NoCollapse or Spec.NoPrune.
+	CollapsedFaults uint64
 }
 
 // ReplaySpeedup returns the campaign's effective replay speedup:
@@ -108,6 +123,10 @@ func (r *Result) ReplaySpeedup() float64 { return replaySpeedup(r.SimCycles, r.S
 // PruneRate returns the share of injections classified by dead-site
 // pruning alone.
 func (r *Result) PruneRate() float64 { return pruneRate(r.PrunedFaults, r.Tally.Injections) }
+
+// CollapseRate returns the share of injections tallied from an
+// equivalence-class memo instead of being simulated.
+func (r *Result) CollapseRate() float64 { return collapseRate(r.CollapsedFaults, r.Tally.Injections) }
 
 func replaySpeedup(sim, skipped uint64) float64 {
 	if sim == 0 {
@@ -124,6 +143,13 @@ func pruneRate(pruned uint64, injections int) float64 {
 		return 0
 	}
 	return float64(pruned) / float64(injections)
+}
+
+func collapseRate(collapsed uint64, injections int) float64 {
+	if injections == 0 {
+		return 0
+	}
+	return float64(collapsed) / float64(injections)
 }
 
 // inputDraw describes one prepared input draw.
@@ -233,23 +259,13 @@ func RunMicroCtx(ctx context.Context, spec Spec) (*Result, error) {
 		return nil, err
 	}
 
-	// Deterministic fault list.
-	type job struct {
-		fault rtl.Fault
-		draw  int
-	}
-	jobs := make([]job, spec.NumFaults)
-	modBits := rtl.ModuleBits(spec.Module)
-	for i := range jobs {
-		d := i % valuesPerRange
-		jobs[i] = job{
-			draw: d,
-			fault: rtl.Fault{
-				Module: spec.Module,
-				Bit:    rng.Intn(modBits),
-				Cycle:  uint64(rng.Intn(int(draws[d].goldenCycles))),
-			},
-		}
+	// Deterministic fault list, then the equivalence classes among its
+	// live sites (collapse keys on the liveness trace, so NoPrune implies
+	// no collapsing).
+	jobs := drawJobs(rng, spec.Module, spec.NumFaults, dp)
+	var collapse *collapseIndex
+	if !spec.NoPrune && !spec.NoCollapse {
+		collapse = buildCollapseIndex(jobs, dp)
 	}
 
 	workers := spec.Workers
@@ -257,82 +273,34 @@ func RunMicroCtx(ctx context.Context, spec Spec) (*Result, error) {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	partials := make([]*Result, workers)
-	var completed atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			res := &Result{Spec: spec}
-			machine := rtl.New()
-			for i := w; i < len(jobs); i += workers {
-				if ctx.Err() != nil {
-					break
-				}
-				j := jobs[i]
-				d := &draws[j.draw]
-				if d.prunedDead(j.fault) {
-					// Provably dead site: Masked with zero simulation,
-					// exactly what classify records for a bit-identical
-					// faulty run.
-					res.Tally.Add(faults.Masked, 0)
-					res.PrunedFaults++
-					res.SkippedCycles += d.goldenCycles
-					done := int(completed.Add(1))
-					if spec.Progress != nil {
-						spec.Progress(done, len(jobs))
-					}
-					continue
-				}
-				budget := d.goldenCycles*watchdogFactor + 1000
-				machine.Inject(j.fault)
-				var g []uint32
-				var err error
-				if snap := d.ckpts.before(j.fault.Cycle); snap != nil {
-					var pruned bool
-					pruned, err = machine.RunFromPruned(snap, budget, d.ckpts.every, d.ckpts.at)
-					res.SimCycles += machine.Cycles() - snap.Cycle()
-					if pruned {
-						// The run reconverged with the golden state, so
-						// its tail provably replays the golden run:
-						// classify against the golden image directly.
-						g = d.golden
-						res.SkippedCycles += snap.Cycle() + d.goldenCycles - machine.Cycles()
-					} else {
-						g = machine.Global()
-						res.SkippedCycles += snap.Cycle()
-					}
-				} else {
-					g = append([]uint32(nil), d.global...)
-					err = machine.Run(prog, 1, MicroThreads, g, 0, budget)
-					res.SimCycles += machine.Cycles()
-				}
-				classify(res, spec.Op, j.fault, machine, g, d.golden, err)
-				done := int(completed.Add(1))
-				if spec.Progress != nil {
-					spec.Progress(done, len(jobs))
-				}
-			}
-			partials[w] = res
-		}(w)
+	for w := range partials {
+		partials[w] = &Result{Spec: spec}
 	}
-	wg.Wait()
+	counters := make([]engineCounters, workers)
+	completed := runFaultLoop(ctx, workers, jobs, dp, prog, MicroThreads, 0,
+		collapse, counters, spec.Progress, campaignHooks{
+			masked: func(w int) { partials[w].Tally.Add(faults.Masked, 0) },
+			record: func(w int, machine *rtl.Machine, j faultJob, g []uint32, err error) {
+				classify(partials[w], spec.Op, j.fault, machine, g, draws[j.draw].golden, err)
+			},
+		})
 	// Cancellation that lands after the last job finished does not void
 	// the campaign: every fault was simulated, so return the result.
-	if err := ctx.Err(); err != nil && int(completed.Load()) != len(jobs) {
+	if err := ctx.Err(); err != nil && completed != len(jobs) {
 		return nil, err
 	}
 
 	out := &Result{Spec: spec, GoldenCycles: draws[0].goldenCycles}
-	for _, p := range partials {
+	for w, p := range partials {
 		out.Tally.Merge(p.Tally)
 		out.Syndromes = append(out.Syndromes, p.Syndromes...)
 		out.ThreadCounts = append(out.ThreadCounts, p.ThreadCounts...)
 		out.BitsWrong = append(out.BitsWrong, p.BitsWrong...)
 		out.Details = append(out.Details, p.Details...)
-		out.SimCycles += p.SimCycles
-		out.SkippedCycles += p.SkippedCycles
-		out.PrunedFaults += p.PrunedFaults
+		out.SimCycles += counters[w].SimCycles
+		out.SkippedCycles += counters[w].SkippedCycles
+		out.PrunedFaults += counters[w].PrunedFaults
+		out.CollapsedFaults += counters[w].CollapsedFaults
 	}
 	return out, nil
 }

@@ -46,24 +46,40 @@ func TestMicroPruneBitIdentical(t *testing.T) {
 	}
 }
 
-// TestMicroPruneMatchesFullReplay ties all three modes together on one
-// spec: pruning + fast-forward combined must reproduce the plain
-// from-cycle-0 replay byte for byte, and account exactly its cycles.
+// TestMicroPruneMatchesFullReplay ties the engine's four modes together
+// on one spec: every shortcut lattice point — Collapsed (the default:
+// collapsing + pruning + fast-forward), Pruned (collapsing off),
+// FastForward (pruning off too) — must reproduce the plain from-cycle-0
+// replay byte for byte, and account exactly its cycles: each mode's
+// sim + skipped equals the full replay's simulated total.
 func TestMicroPruneMatchesFullReplay(t *testing.T) {
 	spec := Spec{Op: isa.OpIADD, Range: faults.RangeMedium, Module: faults.ModINT, NumFaults: 300, Seed: 440}
-	pruned, err := RunMicro(spec)
+	modes := []struct {
+		name string
+		mut  func(*Spec)
+	}{
+		{"Collapsed", func(s *Spec) {}},
+		{"Pruned", func(s *Spec) { s.NoCollapse = true }},
+		{"FastForward", func(s *Spec) { s.NoCollapse, s.NoPrune = true, true }},
+	}
+	fullSpec := spec
+	fullSpec.NoCollapse, fullSpec.NoPrune, fullSpec.NoFastForward = true, true, true
+	full, err := RunMicro(fullSpec)
 	if err != nil {
 		t.Fatal(err)
 	}
-	spec.NoPrune, spec.NoFastForward = true, true
-	full, err := RunMicro(spec)
-	if err != nil {
-		t.Fatal(err)
-	}
-	assertMicroEqual(t, pruned, full)
-	if pruned.SimCycles+pruned.SkippedCycles != full.SimCycles {
-		t.Errorf("cycle accounting: %d + %d != %d full-replay cycles",
-			pruned.SimCycles, pruned.SkippedCycles, full.SimCycles)
+	for _, m := range modes {
+		s := spec
+		m.mut(&s)
+		res, err := RunMicro(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertMicroEqual(t, res, full)
+		if res.SimCycles+res.SkippedCycles != full.SimCycles {
+			t.Errorf("%s: cycle accounting: %d + %d != %d full-replay cycles",
+				m.name, res.SimCycles, res.SkippedCycles, full.SimCycles)
+		}
 	}
 }
 

@@ -5,8 +5,6 @@ import (
 	"fmt"
 	"math"
 	"runtime"
-	"sync"
-	"sync/atomic"
 
 	"gpufi/internal/faults"
 	"gpufi/internal/mxm"
@@ -29,8 +27,13 @@ type TMXMSpec struct {
 	// see Spec.NoFastForward.
 	NoFastForward bool
 
-	// NoPrune disables dead-site pruning; see Spec.NoPrune.
+	// NoPrune disables dead-site pruning (and with it equivalence
+	// collapsing); see Spec.NoPrune.
 	NoPrune bool
+
+	// NoCollapse disables fault-equivalence collapsing; see
+	// Spec.NoCollapse.
+	NoCollapse bool
 
 	// Progress, when non-nil, is called after every simulated fault; see
 	// Spec.Progress for the concurrency contract.
@@ -47,10 +50,12 @@ type TMXMResult struct {
 	PatternErrs map[faults.Pattern][]float64
 	GoldenCycles uint64
 
-	// SimCycles / SkippedCycles / PrunedFaults: see Result.
-	SimCycles     uint64
-	SkippedCycles uint64
-	PrunedFaults  uint64
+	// SimCycles / SkippedCycles / PrunedFaults / CollapsedFaults: see
+	// Result.
+	SimCycles       uint64
+	SkippedCycles   uint64
+	PrunedFaults    uint64
+	CollapsedFaults uint64
 }
 
 // ReplaySpeedup returns the campaign's effective replay speedup; see
@@ -60,6 +65,12 @@ func (r *TMXMResult) ReplaySpeedup() float64 { return replaySpeedup(r.SimCycles,
 // PruneRate returns the share of injections classified by dead-site
 // pruning alone.
 func (r *TMXMResult) PruneRate() float64 { return pruneRate(r.PrunedFaults, r.Tally.Injections) }
+
+// CollapseRate returns the share of injections tallied from an
+// equivalence-class memo instead of being simulated.
+func (r *TMXMResult) CollapseRate() float64 {
+	return collapseRate(r.CollapsedFaults, r.Tally.Injections)
+}
 
 // PatternShare returns the share of multi-element SDCs classified as p,
 // over all multi-element SDCs (Table II normalises over multiple
@@ -115,22 +126,12 @@ func RunTMXMCtx(ctx context.Context, spec TMXMSpec) (*TMXMResult, error) {
 		draws[i].goldenC = mxm.ExtractC(draws[i].golden, mxm.Tile)
 	}
 
-	type job struct {
-		fault rtl.Fault
-		draw  int
-	}
-	jobs := make([]job, spec.NumFaults)
-	modBits := rtl.ModuleBits(spec.Module)
-	for i := range jobs {
-		d := i % valuesPerRange
-		jobs[i] = job{
-			draw: d,
-			fault: rtl.Fault{
-				Module: spec.Module,
-				Bit:    rng.Intn(modBits),
-				Cycle:  uint64(rng.Intn(int(draws[d].goldenCycles))),
-			},
-		}
+	// Deterministic fault list, then the equivalence classes among its
+	// live sites (see RunMicroCtx).
+	jobs := drawJobs(rng, spec.Module, spec.NumFaults, dp)
+	var collapse *collapseIndex
+	if !spec.NoPrune && !spec.NoCollapse {
+		collapse = buildCollapseIndex(jobs, dp)
 	}
 
 	workers := spec.Workers
@@ -138,52 +139,21 @@ func RunTMXMCtx(ctx context.Context, spec TMXMSpec) (*TMXMResult, error) {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	partials := make([]*TMXMResult, workers)
-	var completed atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			res := &TMXMResult{Spec: spec, PatternErrs: make(map[faults.Pattern][]float64)}
-			machine := rtl.New()
-			simulate := func(j job) {
-				d := &draws[j.draw]
-				if d.prunedDead(j.fault) {
-					// Provably dead site: Masked with zero simulation.
-					res.Tally.Add(faults.Masked, 0)
-					res.PrunedFaults++
-					res.SkippedCycles += d.goldenCycles
-					return
-				}
-				budget := d.goldenCycles*watchdogFactor + 1000
-				machine.Inject(j.fault)
-				var g []uint32
-				var err error
-				if snap := d.ckpts.before(j.fault.Cycle); snap != nil {
-					var pruned bool
-					pruned, err = machine.RunFromPruned(snap, budget, d.ckpts.every, d.ckpts.at)
-					res.SimCycles += machine.Cycles() - snap.Cycle()
-					if pruned {
-						// Reconverged with the golden state: the tail
-						// provably replays the golden run, so the
-						// outcome is Masked with the golden outputs.
-						res.SkippedCycles += snap.Cycle() + d.goldenCycles - machine.Cycles()
-						res.Tally.Add(faults.Masked, 0)
-						return
-					}
-					g = machine.Global()
-					res.SkippedCycles += snap.Cycle()
-				} else {
-					g = append([]uint32(nil), d.global...)
-					err = machine.Run(prog, 1, mxm.BlockThreads, g, mxm.SharedWords, budget)
-					res.SimCycles += machine.Cycles()
-				}
+	for w := range partials {
+		partials[w] = &TMXMResult{Spec: spec, PatternErrs: make(map[faults.Pattern][]float64)}
+	}
+	counters := make([]engineCounters, workers)
+	completed := runFaultLoop(ctx, workers, jobs, dp, prog, mxm.BlockThreads, mxm.SharedWords,
+		collapse, counters, spec.Progress, campaignHooks{
+			masked: func(w int) { partials[w].Tally.Add(faults.Masked, 0) },
+			record: func(w int, _ *rtl.Machine, j faultJob, g []uint32, err error) {
+				res := partials[w]
 				if err != nil {
 					res.Tally.Add(faults.DUE, 0)
 					return
 				}
 				faultyC := mxm.ExtractC(g, mxm.Tile)
-				corr := mxm.Compare(d.goldenC, faultyC, mxm.Tile)
+				corr := mxm.Compare(draws[j.draw].goldenC, faultyC, mxm.Tile)
 				if corr.Count == 0 {
 					res.Tally.Add(faults.Masked, 0)
 					return
@@ -198,29 +168,16 @@ func RunTMXMCtx(ctx context.Context, spec TMXMSpec) (*TMXMResult, error) {
 					}
 				}
 				res.PatternErrs[pat] = append(res.PatternErrs[pat], finite...)
-			}
-			for i := w; i < len(jobs); i += workers {
-				if ctx.Err() != nil {
-					break
-				}
-				simulate(jobs[i])
-				done := int(completed.Add(1))
-				if spec.Progress != nil {
-					spec.Progress(done, len(jobs))
-				}
-			}
-			partials[w] = res
-		}(w)
-	}
-	wg.Wait()
+			},
+		})
 	// Cancellation that lands after the last job finished does not void
 	// the campaign: every fault was simulated, so return the result.
-	if err := ctx.Err(); err != nil && int(completed.Load()) != len(jobs) {
+	if err := ctx.Err(); err != nil && completed != len(jobs) {
 		return nil, err
 	}
 
 	out := &TMXMResult{Spec: spec, PatternErrs: make(map[faults.Pattern][]float64), GoldenCycles: draws[0].goldenCycles}
-	for _, p := range partials {
+	for w, p := range partials {
 		out.Tally.Merge(p.Tally)
 		for i, n := range p.Patterns {
 			out.Patterns[i] += n
@@ -228,9 +185,10 @@ func RunTMXMCtx(ctx context.Context, spec TMXMSpec) (*TMXMResult, error) {
 		for pat, errs := range p.PatternErrs {
 			out.PatternErrs[pat] = append(out.PatternErrs[pat], errs...)
 		}
-		out.SimCycles += p.SimCycles
-		out.SkippedCycles += p.SkippedCycles
-		out.PrunedFaults += p.PrunedFaults
+		out.SimCycles += counters[w].SimCycles
+		out.SkippedCycles += counters[w].SkippedCycles
+		out.PrunedFaults += counters[w].PrunedFaults
+		out.CollapsedFaults += counters[w].CollapsedFaults
 	}
 	return out, nil
 }

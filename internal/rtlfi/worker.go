@@ -1,0 +1,277 @@
+package rtlfi
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"gpufi/internal/faults"
+	"gpufi/internal/kasm"
+	"gpufi/internal/rtl"
+	"gpufi/internal/stats"
+)
+
+// This file is the campaign engine shared by the micro-benchmark and
+// t-MxM workers: the deterministic fault list, the per-fault scaffolding
+// (dead-site prune check, checkpoint selection, cycle accounting) and
+// fault-equivalence collapsing. The two campaign families differ only in
+// how they classify a finished faulty run, which they supply as hooks.
+
+// faultJob is one campaign work item: a single transient fault paired
+// with the input draw it is injected under.
+type faultJob struct {
+	fault rtl.Fault
+	draw  int
+}
+
+// drawJobs generates the campaign's deterministic fault list from the
+// spec RNG: job i targets draw i%valuesPerRange and a uniform (bit,
+// cycle) site. It consumes exactly two rng draws per fault, in job
+// order, so the stream — and with it every campaign result — is
+// bit-identical to the inline generation it replaced.
+func drawJobs(rng *stats.RNG, mod faults.Module, n int, draws []*inputDraw) []faultJob {
+	jobs := make([]faultJob, n)
+	modBits := rtl.ModuleBits(mod)
+	for i := range jobs {
+		d := i % valuesPerRange
+		jobs[i] = faultJob{
+			draw: d,
+			fault: rtl.Fault{
+				Module: mod,
+				Bit:    rng.Intn(modBits),
+				Cycle:  uint64(rng.Intn(int(draws[d].goldenCycles))),
+			},
+		}
+	}
+	return jobs
+}
+
+// classEntry is the shared memo of one multi-member fault-equivalence
+// class. The representative's worker simulates the class once and
+// publishes the outcome; every other member is tallied from the memo
+// with zero simulated cycles.
+type classEntry struct {
+	rep int // job index of the representative: the class's first member
+
+	// done is closed by publish after the memo fields below are set;
+	// members must not read them before it is closed.
+	done chan struct{}
+
+	g            []uint32 // final memory image (a copy; nil on DUE)
+	err          error    // the run's DUE error, if any
+	replayCycles uint64   // rep's sim+skipped: every member's full-replay cost
+}
+
+// publish installs the representative's outcome and releases waiting
+// members. The image is copied: the representative's machine reuses its
+// buffers on the next run, and d.golden must stay unaliased too.
+func (e *classEntry) publish(r simRun) {
+	if r.err == nil {
+		e.g = append([]uint32(nil), r.g...)
+	}
+	e.err = r.err
+	e.replayCycles = r.sim + r.skipped
+	close(e.done)
+}
+
+// collapseIndex maps job indices to their fault-equivalence class.
+// Classes group live (non-dead-pruned) faults by (draw, bit, read gap):
+// two such faults corrupt the same stored field value between the same
+// two golden read events, so their faulty trajectories — and with them
+// classification, syndrome, detailed record and total replay cycles —
+// are provably identical (see rtl.Liveness.GapAt and DESIGN §4). Only
+// multi-member classes get an entry; byJob[i] is nil when fault i
+// collapses with nobody and simulates normally.
+type collapseIndex struct {
+	byJob []*classEntry
+}
+
+// at returns job i's class entry, tolerating a nil (collapse-disabled)
+// index.
+func (ci *collapseIndex) at(i int) *classEntry {
+	if ci == nil {
+		return nil
+	}
+	return ci.byJob[i]
+}
+
+// buildCollapseIndex assigns every live fault its equivalence class,
+// sharded per draw. It runs sequentially before the workers start, and
+// pre-claims the representative as the class's first member in job
+// order — a stronger form of a per-class sync.Once claim: no two
+// workers ever simulate the same class, and which member gets simulated
+// (hence the campaign's SimCycles split) never depends on goroutine
+// scheduling, preserving the engine's re-runs-are-bit-identical
+// guarantee. Worker striping and the RNG stream are untouched.
+func buildCollapseIndex(jobs []faultJob, draws []*inputDraw) *collapseIndex {
+	type key struct {
+		bit int
+		gap int
+	}
+	firsts := make([]map[key]int, len(draws)) // per-draw shard: class key -> first job index
+	for i := range firsts {
+		firsts[i] = make(map[key]int)
+	}
+	ci := &collapseIndex{byJob: make([]*classEntry, len(jobs))}
+	for i, j := range jobs {
+		d := draws[j.draw]
+		if d.live == nil {
+			return nil // no liveness trace (NoPrune): nothing to key gaps on
+		}
+		gap, ok := d.live.GapAt(j.fault.Module, j.fault.Bit, j.fault.Cycle)
+		if !ok {
+			continue // dead site: the prune check claims it before any class logic
+		}
+		k := key{bit: j.fault.Bit, gap: gap}
+		first, seen := firsts[j.draw][k]
+		if !seen {
+			firsts[j.draw][k] = i
+			continue
+		}
+		e := ci.byJob[first]
+		if e == nil {
+			e = &classEntry{rep: first, done: make(chan struct{})}
+			ci.byJob[first] = e
+		}
+		ci.byJob[i] = e
+	}
+	return ci
+}
+
+// simRun is one simulated faulty run's raw outcome before family-specific
+// classification: the final global-memory image (the golden image when
+// the run provably reconverged), the DUE error if any, and the engine's
+// simulated/skipped cycle split.
+type simRun struct {
+	g            []uint32
+	err          error
+	sim, skipped uint64
+}
+
+// runFault simulates one live fault on the worker's machine: checkpoint
+// fast-forward when a snapshot at or before the injection cycle exists,
+// golden-reconvergence pruning for the tail, full replay otherwise.
+func (d *inputDraw) runFault(machine *rtl.Machine, prog *kasm.Program, block, sharedWords int, f rtl.Fault) simRun {
+	budget := d.goldenCycles*watchdogFactor + 1000
+	machine.Inject(f)
+	if snap := d.ckpts.before(f.Cycle); snap != nil {
+		pruned, err := machine.RunFromPruned(snap, budget, d.ckpts.every, d.ckpts.at)
+		sim := machine.Cycles() - snap.Cycle()
+		if pruned {
+			// Reconverged with the golden state: the tail provably
+			// replays the golden run, so the golden image is the run's
+			// (bit-exact) result.
+			return simRun{g: d.golden, sim: sim, skipped: snap.Cycle() + d.goldenCycles - machine.Cycles()}
+		}
+		return simRun{g: machine.Global(), err: err, sim: sim, skipped: snap.Cycle()}
+	}
+	g := append([]uint32(nil), d.global...)
+	err := machine.Run(prog, 1, block, g, sharedWords, budget)
+	return simRun{g: g, err: err, sim: machine.Cycles()}
+}
+
+// engineCounters is one worker's engine accounting, merged by the family
+// into its result type after the loop: cycles simulated, cycles provably
+// skipped, and the faults classified without any simulation (dead-site
+// pruned, equivalence-collapsed).
+type engineCounters struct {
+	SimCycles, SkippedCycles      uint64
+	PrunedFaults, CollapsedFaults uint64
+}
+
+// campaignHooks are the family-specific callbacks of runFaultLoop. Each
+// receives the worker index w; calls for the same w are serial, calls
+// for different w are concurrent, so hooks may index per-worker partial
+// results without locking.
+type campaignHooks struct {
+	// masked records one injection proven Masked with zero simulation
+	// (dead-site prune): exactly what record would report for the
+	// bit-identical faulty run.
+	masked func(w int)
+	// record classifies one faulty outcome against the job's golden run:
+	// g is the final memory image (the golden image when the run
+	// reconverged; nil on DUE) and err the run's DUE error. machine is
+	// the worker's machine, valid for layout lookups only.
+	record func(w int, machine *rtl.Machine, j faultJob, g []uint32, err error)
+}
+
+// runFaultLoop drives the striped worker pool over the campaign's fault
+// list, performing the engine work shared by both campaign families —
+// dead-site prune check, fault-equivalence collapsing, checkpoint
+// fast-forward, cycle accounting, progress and cancellation — and
+// delegating outcome recording to hooks. It returns the number of
+// completed faults, which equals len(jobs) unless ctx was cancelled.
+func runFaultLoop(ctx context.Context, workers int, jobs []faultJob, draws []*inputDraw,
+	prog *kasm.Program, block, sharedWords int, collapse *collapseIndex,
+	counters []engineCounters, progress func(done, total int), hooks campaignHooks) int {
+
+	var completed atomic.Int64
+	bump := func() {
+		done := int(completed.Add(1))
+		if progress != nil {
+			progress(done, len(jobs))
+		}
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ec := &counters[w]
+			machine := rtl.New()
+			for i := w; i < len(jobs); i += workers {
+				if ctx.Err() != nil {
+					break
+				}
+				j := jobs[i]
+				d := draws[j.draw]
+				if d.prunedDead(j.fault) {
+					// Provably dead site: Masked with zero simulation. Its
+					// whole would-be replay (exactly goldenCycles — a dead
+					// fault's run is the golden run) lands in SkippedCycles
+					// so cycle accounting stays comparable across modes.
+					ec.PrunedFaults++
+					ec.SkippedCycles += d.goldenCycles
+					hooks.masked(w)
+					bump()
+					continue
+				}
+				e := collapse.at(i)
+				if e != nil && e.rep != i {
+					// Collapsed member: trajectory-identical to its class
+					// representative, so the memo supplies the outcome at
+					// zero simulated cycles; only the fault site in the
+					// record is the member's own. The member's would-be
+					// replay cost — identical to the representative's by
+					// trajectory identity — lands in SkippedCycles, keeping
+					// sim+skipped == full-replay sim exact.
+					//
+					// Waiting cannot deadlock: representatives never wait,
+					// and a member only waits on a strictly smaller job
+					// index, which its owning worker reaches (and
+					// publishes) without waiting on anything larger.
+					select {
+					case <-e.done:
+					case <-ctx.Done():
+						continue // top of loop breaks on ctx.Err
+					}
+					ec.CollapsedFaults++
+					ec.SkippedCycles += e.replayCycles
+					hooks.record(w, machine, j, e.g, e.err)
+					bump()
+					continue
+				}
+				sr := d.runFault(machine, prog, block, sharedWords, j.fault)
+				ec.SimCycles += sr.sim
+				ec.SkippedCycles += sr.skipped
+				if e != nil {
+					e.publish(sr)
+				}
+				hooks.record(w, machine, j, sr.g, sr.err)
+				bump()
+			}
+		}(w)
+	}
+	wg.Wait()
+	return int(completed.Load())
+}
