@@ -15,9 +15,14 @@
 // single-iteration -benchtime 1x run jitters. The gate exists to catch
 // order-of-magnitude engine regressions — an accidentally disabled
 // fast-forward, pruning or collapsing path multiplies wall-clock several
-// times over and clears the threshold on any hardware. Benchmarks present
-// in only one side (new rows not yet baselined, baselines not exercised
-// by the CI filter) are skipped, never failed.
+// times over and clears the threshold on any hardware.
+//
+// All regressions are reported in one run, not just the first. Measured
+// benchmarks without a baseline (a freshly added mode) are skipped, but a
+// guarded baseline entry missing from the measured set is an error — a
+// renamed or deleted benchmark would otherwise silently stop being
+// guarded. Pass -allow-missing when intentionally running a narrower
+// bench filter than the baselines cover.
 package main
 
 import (
@@ -29,6 +34,7 @@ import (
 	"log"
 	"os"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -56,6 +62,7 @@ func main() {
 
 	maxRatio := flag.Float64("max-ratio", 2.5, "fail when measured ns/op exceeds baseline by more than this factor")
 	baselines := flag.String("baselines", "BENCH_rtlfi.json,BENCH_swfi.json", "comma-separated baseline files (gpufi-bench/v1)")
+	allowMissing := flag.Bool("allow-missing", false, "tolerate guarded baseline entries absent from the measured set")
 	flag.Parse()
 
 	base, err := loadBaselines(strings.Split(*baselines, ","))
@@ -80,9 +87,49 @@ func main() {
 		log.Fatal("no benchmark result lines found in input")
 	}
 
-	failed := 0
-	checked := 0
-	for name, ns := range measured {
+	rep := gate(measured, base, *maxRatio)
+	for _, line := range rep.failures {
+		log.Print(line)
+	}
+	if len(rep.missing) > 0 && !*allowMissing {
+		log.Printf("ERROR: %d guarded baseline entries were not measured (renamed/deleted benchmark, or the bench filter is too narrow — pass -allow-missing if intentional):", len(rep.missing))
+		for _, name := range rep.missing {
+			log.Printf("  missing from measured set: %s", name)
+		}
+	}
+	switch {
+	case rep.checked == 0:
+		log.Fatal("no guarded benchmarks matched a baseline; check -baselines and the bench filter")
+	case len(rep.failures) > 0 && len(rep.missing) > 0 && !*allowMissing:
+		log.Fatalf("%d of %d guarded benchmarks regressed beyond %.2fx and %d baseline entries were not measured",
+			len(rep.failures), rep.checked, *maxRatio, len(rep.missing))
+	case len(rep.failures) > 0:
+		log.Fatalf("%d of %d guarded benchmarks regressed beyond %.2fx", len(rep.failures), rep.checked, *maxRatio)
+	case len(rep.missing) > 0 && !*allowMissing:
+		log.Fatalf("%d guarded baseline entries were not measured", len(rep.missing))
+	}
+	fmt.Printf("gpufi-benchguard: %d guarded benchmarks within %.2fx of baseline\n", rep.checked, *maxRatio)
+}
+
+// report is the outcome of one gate evaluation.
+type report struct {
+	checked  int      // guarded benchmarks compared against a baseline
+	failures []string // one formatted line per regression, name-sorted
+	missing  []string // guarded baseline names absent from the measured set
+}
+
+// gate compares every guarded measured benchmark against the baselines
+// and collects ALL regressions plus every guarded baseline entry that was
+// never measured. It never fails fast: CI gets the complete picture in
+// one run.
+func gate(measured, base map[string]float64, maxRatio float64) report {
+	var rep report
+	names := make([]string, 0, len(measured))
+	for name := range measured {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
 		if !guarded(name) {
 			continue
 		}
@@ -90,21 +137,23 @@ func main() {
 		if !ok {
 			continue // not baselined yet (e.g. a freshly added mode)
 		}
-		checked++
-		ratio := ns / baseNs
-		if ratio > *maxRatio {
-			failed++
-			log.Printf("FAIL %s: %.0f ns/op vs baseline %.0f (%.2fx > %.2fx allowed)",
-				name, ns, baseNs, ratio, *maxRatio)
+		rep.checked++
+		ratio := measured[name] / baseNs
+		if ratio > maxRatio {
+			rep.failures = append(rep.failures, fmt.Sprintf("FAIL %s: %.0f ns/op vs baseline %.0f (%.2fx > %.2fx allowed)",
+				name, measured[name], baseNs, ratio, maxRatio))
 		}
 	}
-	if checked == 0 {
-		log.Fatal("no guarded benchmarks matched a baseline; check -baselines and the bench filter")
+	for name := range base {
+		if !guarded(name) {
+			continue
+		}
+		if _, ok := measured[name]; !ok {
+			rep.missing = append(rep.missing, name)
+		}
 	}
-	if failed > 0 {
-		log.Fatalf("%d of %d guarded benchmarks regressed beyond %.2fx", failed, checked, *maxRatio)
-	}
-	fmt.Printf("gpufi-benchguard: %d guarded benchmarks within %.2fx of baseline\n", checked, *maxRatio)
+	sort.Strings(rep.missing)
+	return rep
 }
 
 // guarded reports whether the gate applies to a benchmark: the RTL and

@@ -224,6 +224,9 @@ func atomicWriteFile(path string, data []byte, perm os.FileMode) error {
 	if err := tmp.Chmod(perm); err != nil {
 		return err
 	}
+	if err := tmp.Sync(); err != nil {
+		return err
+	}
 	if err := tmp.Close(); err != nil {
 		return err
 	}
@@ -232,6 +235,13 @@ func atomicWriteFile(path string, data []byte, perm os.FileMode) error {
 	if err := os.Rename(name, path); err != nil {
 		os.Remove(name)
 		return err
+	}
+	// Fsync the directory so the rename itself is durable. Some
+	// filesystems reject directory fsync; tolerate that — the data file
+	// is already synced and renamed.
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		d.Close()
 	}
 	return nil
 }

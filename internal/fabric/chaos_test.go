@@ -1,0 +1,319 @@
+// Chaos tests for the distributed campaign fabric: workers are killed,
+// restarted and sabotaged mid-campaign, the coordinator is restarted
+// under live workers, and the merged result must still be byte-identical
+// to a single-node run with no lost or duplicated unit results.
+//
+// This lives in an external test package because it drives the fabric
+// through internal/jobs (which imports internal/fabric).
+package fabric_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"gpufi/internal/fabric"
+	"gpufi/internal/jobs"
+)
+
+// charRequest is the characterisation campaign under test: a handful of
+// units, each a few hundred faults, so kills and lease expiries land
+// mid-campaign without the test taking minutes.
+func charRequest() jobs.Request {
+	return jobs.Request{
+		Kind: jobs.KindCharacterize, Seed: 5,
+		Ops: []string{"FADD", "FMUL"}, Ranges: []string{"M"},
+		Faults: 300, SkipTMXM: true,
+	}
+}
+
+func waitJob(t *testing.T, s *jobs.Service, id, what string) jobs.Status {
+	t.Helper()
+	var st jobs.Status
+	deadline := time.Now().Add(120 * time.Second)
+	for time.Now().Before(deadline) {
+		st, _ = s.Get(id)
+		if st.State.Terminal() {
+			return st
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s (job %s stuck in %s at %d/%d)", what, id, st.State, st.Done, st.Total)
+	return st
+}
+
+// singleNodeResult runs the request without any fabric and returns the
+// reference result bytes.
+func singleNodeResult(t *testing.T, req jobs.Request) []byte {
+	t.Helper()
+	s, err := jobs.New(jobs.Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	st, err := s.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st = waitJob(t, s, st.ID, "single-node reference")
+	if st.State != jobs.StateDone {
+		t.Fatalf("reference job ended %s (error %q)", st.State, st.Error)
+	}
+	return st.Result
+}
+
+// checkUnitSet asserts the result contains every planned unit exactly
+// once — no lost and no duplicated CharUnitResults.
+func checkUnitSet(t *testing.T, result []byte) {
+	t.Helper()
+	var res jobs.Result
+	if err := json.Unmarshal(result, &res); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Units) == 0 {
+		t.Fatal("result carries no units")
+	}
+	seen := make(map[string]int)
+	for _, raw := range res.Units {
+		var cu jobs.CharUnitResult
+		if err := json.Unmarshal(raw, &cu); err != nil {
+			t.Fatal(err)
+		}
+		seen[cu.Unit]++
+	}
+	for name, n := range seen {
+		if n != 1 {
+			t.Errorf("unit %s appears %d times in the merged result", name, n)
+		}
+	}
+	if len(seen) != len(res.Units) {
+		t.Errorf("%d distinct units in %d result rows", len(seen), len(res.Units))
+	}
+}
+
+// blackholeComplete wraps a Transport and makes every Complete call fail,
+// simulating a worker whose network dies exactly when it delivers
+// results: it burns leases that can only be recovered by expiry.
+type blackholeComplete struct {
+	fabric.Transport
+}
+
+func (b blackholeComplete) Complete(fabric.CompleteRequest) (fabric.CompleteReply, error) {
+	return fabric.CompleteReply{}, errors.New("simulated network failure")
+}
+
+// TestChaosDistributedBitIdentical is the acceptance test: a 3-worker
+// distributed campaign with workers killed, sabotaged and restarted
+// mid-run produces a merged result byte-identical to the single-node run,
+// with every orphaned unit re-leased and no unit lost or duplicated.
+func TestChaosDistributedBitIdentical(t *testing.T) {
+	req := charRequest()
+	want := singleNodeResult(t, req)
+
+	coord := fabric.NewCoordinator(fabric.CoordinatorConfig{
+		LeaseTimeout: 250 * time.Millisecond,
+		SweepEvery:   20 * time.Millisecond,
+		Logf:         t.Logf,
+	})
+	defer coord.Close()
+	srv := httptest.NewServer(coord.Handler())
+	defer srv.Close()
+
+	svc, err := jobs.New(jobs.Config{Workers: 1, Fabric: coord, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	st, err := svc.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	startWorker := func(ctx context.Context, name string, tr fabric.Transport) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			fabric.RunWorker(ctx, tr, fabric.WorkerConfig{
+				Name: name, Poll: 10 * time.Millisecond, Logf: t.Logf,
+			})
+		}()
+	}
+	ctx, cancelAll := context.WithCancel(context.Background())
+	defer func() {
+		cancelAll()
+		wg.Wait()
+	}()
+
+	// Worker 1 is sabotaged: it executes units but every result delivery
+	// fails, so its leases are orphaned and must be recovered by expiry.
+	victimCtx, killVictim := context.WithCancel(ctx)
+	defer killVictim()
+	startWorker(victimCtx, "victim", blackholeComplete{fabric.NewHTTPTransport(srv.URL)})
+
+	// Worker 2 is killed abruptly as soon as it holds a lease.
+	w2Ctx, killW2 := context.WithCancel(ctx)
+	defer killW2()
+	startWorker(w2Ctx, "w2", fabric.NewHTTPTransport(srv.URL))
+
+	// Kill w2 once the coordinator shows it holding work.
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		leased := 0
+		for _, w := range coord.Status().Workers {
+			if w.Name == "w2" {
+				leased = w.Leased
+			}
+		}
+		if leased > 0 {
+			break
+		}
+		if fst, _ := svc.Get(st.ID); fst.State.Terminal() {
+			t.Fatal("job finished before any chaos could be injected; make the campaign larger")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	killW2()
+
+	// Kill the sabotaged worker once at least one of its orphaned leases
+	// has been re-leased, then bring up the replacements.
+	var maxReLeased uint64
+	for time.Now().Before(deadline) {
+		if js, ok := coord.JobStatus(st.ID); ok && js.ReLeased > maxReLeased {
+			maxReLeased = js.ReLeased
+		}
+		if maxReLeased >= 1 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	killVictim()
+	if maxReLeased == 0 {
+		t.Fatal("no lease was ever re-leased; the chaos injection is broken")
+	}
+	startWorker(ctx, "w2-reborn", fabric.NewHTTPTransport(srv.URL))
+	startWorker(ctx, "w3", fabric.NewHTTPTransport(srv.URL))
+
+	st = waitJob(t, svc, st.ID, "distributed chaos job")
+	if st.State != jobs.StateDone {
+		t.Fatalf("distributed job ended %s (error %q)", st.State, st.Error)
+	}
+	if !bytes.Equal(want, st.Result) {
+		t.Fatalf("distributed result differs from single-node run (len %d vs %d)", len(st.Result), len(want))
+	}
+	checkUnitSet(t, st.Result)
+}
+
+// TestCoordinatorRestartMidCampaign: the coordinator (and job service)
+// restart mid-campaign while workers stay up. Workers re-register with
+// the new incarnation, the job resumes from its checkpoint journal, and
+// the final result is byte-identical to a single-node run.
+func TestCoordinatorRestartMidCampaign(t *testing.T) {
+	req := charRequest()
+	want := singleNodeResult(t, req)
+	dir := t.TempDir()
+
+	// A stable URL whose backing coordinator can be swapped, standing in
+	// for "the coordinator host restarted".
+	var hmu sync.Mutex
+	var handler http.Handler
+	setHandler := func(h http.Handler) {
+		hmu.Lock()
+		handler = h
+		hmu.Unlock()
+	}
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hmu.Lock()
+		h := handler
+		hmu.Unlock()
+		h.ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+
+	coord1 := fabric.NewCoordinator(fabric.CoordinatorConfig{
+		LeaseTimeout: 250 * time.Millisecond,
+		SweepEvery:   20 * time.Millisecond,
+		Logf:         t.Logf,
+	})
+	setHandler(coord1.Handler())
+	svc1, err := jobs.New(jobs.Config{
+		Workers: 1, Dir: dir, CheckpointEvery: 5 * time.Millisecond,
+		Fabric: coord1, Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := svc1.Submit(req)
+	if err != nil {
+		svc1.Close()
+		t.Fatal(err)
+	}
+
+	// Two long-lived workers that outlive the coordinator restart.
+	ctx, cancelAll := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	for _, name := range []string{"w1", "w2"} {
+		name := name
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			fabric.RunWorker(ctx, fabric.NewHTTPTransport(srv.URL), fabric.WorkerConfig{
+				Name: name, Poll: 10 * time.Millisecond, Logf: t.Logf,
+			})
+		}()
+	}
+	defer func() {
+		cancelAll()
+		wg.Wait()
+	}()
+
+	// Let the campaign make checkpointed progress, then restart the
+	// coordinator side while the workers keep running.
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		if cur, _ := svc1.Get(st.ID); cur.UnitsDone >= 1 && !cur.State.Terminal() {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	svc1.Close()
+	coord1.Close()
+
+	coord2 := fabric.NewCoordinator(fabric.CoordinatorConfig{
+		LeaseTimeout: 250 * time.Millisecond,
+		SweepEvery:   20 * time.Millisecond,
+		Logf:         t.Logf,
+	})
+	defer coord2.Close()
+	setHandler(coord2.Handler())
+	svc2, err := jobs.New(jobs.Config{
+		Workers: 1, Dir: dir, CheckpointEvery: 5 * time.Millisecond,
+		Fabric: coord2, Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc2.Close()
+
+	st2, ok := svc2.Get(st.ID)
+	if !ok {
+		t.Fatalf("job %s lost across the coordinator restart", st.ID)
+	}
+	if st2.UnitsDone < 1 {
+		t.Fatalf("resumed job forgot its completed units: %+v", st2)
+	}
+	st2 = waitJob(t, svc2, st.ID, "resumed distributed job")
+	if st2.State != jobs.StateDone {
+		t.Fatalf("resumed job ended %s (error %q)", st2.State, st2.Error)
+	}
+	if !bytes.Equal(want, st2.Result) {
+		t.Fatalf("post-restart result differs from single-node run (len %d vs %d)", len(st2.Result), len(want))
+	}
+	checkUnitSet(t, st2.Result)
+}

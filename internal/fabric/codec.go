@@ -1,0 +1,132 @@
+package fabric
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sort"
+
+	"gpufi/internal/core"
+	"gpufi/internal/faults"
+	"gpufi/internal/rtlfi"
+)
+
+// The wire encoding of a unit result must be canonical: the coordinator
+// deduplicates double completions (stale leases, racing workers) by byte
+// comparison, so two encodings of the same result must be identical no
+// matter which worker produced them. gob gives that almost for free — it
+// writes struct fields in declaration order and skips func fields such as
+// Spec.Progress — with two exceptions handled here:
+//
+//   - TMXMResult.PatternErrs is a map, and gob serialises map entries in
+//     random order; the wire form flattens it into key-sorted slices.
+//   - Spec.Workers records the executing engine's worker count, which is
+//     the one field allowed to differ between nodes (results are
+//     bit-identical for any worker count); it is normalised to zero.
+//
+// Syndrome relative errors can be +Inf (fp32.RelErr reports NaN/Inf
+// corruption that way), which rules JSON out as the payload encoding;
+// gob round-trips non-finite floats exactly.
+
+// unitPayload is the gob wire form of one executed core.UnitResult.
+type unitPayload struct {
+	Unit  core.Unit
+	Micro *rtlfi.Result
+	TMXM  *tmxmWire
+}
+
+// tmxmWire mirrors rtlfi.TMXMResult with PatternErrs flattened into
+// parallel key-sorted slices.
+type tmxmWire struct {
+	Spec         rtlfi.TMXMSpec
+	Tally        faults.Tally
+	Patterns     [faults.NumPatterns]int
+	PatternKeys  []faults.Pattern
+	PatternErrs  [][]float64
+	GoldenCycles uint64
+
+	SimCycles       uint64
+	SkippedCycles   uint64
+	PrunedFaults    uint64
+	CollapsedFaults uint64
+}
+
+// EncodeUnitResult canonically serialises an executed unit for the wire
+// and for duplicate detection.
+func EncodeUnitResult(res *core.UnitResult) ([]byte, error) {
+	p := unitPayload{Unit: res.Unit}
+	switch {
+	case res.Micro != nil:
+		micro := *res.Micro
+		micro.Spec.Workers = 0
+		micro.Spec.Progress = nil
+		p.Micro = &micro
+	case res.TMXM != nil:
+		r := res.TMXM
+		w := &tmxmWire{
+			Spec:            r.Spec,
+			Tally:           r.Tally,
+			Patterns:        r.Patterns,
+			GoldenCycles:    r.GoldenCycles,
+			SimCycles:       r.SimCycles,
+			SkippedCycles:   r.SkippedCycles,
+			PrunedFaults:    r.PrunedFaults,
+			CollapsedFaults: r.CollapsedFaults,
+		}
+		w.Spec.Workers = 0
+		w.Spec.Progress = nil
+		for pat := range r.PatternErrs {
+			w.PatternKeys = append(w.PatternKeys, pat)
+		}
+		sort.Slice(w.PatternKeys, func(i, j int) bool { return w.PatternKeys[i] < w.PatternKeys[j] })
+		for _, pat := range w.PatternKeys {
+			w.PatternErrs = append(w.PatternErrs, r.PatternErrs[pat])
+		}
+		p.TMXM = w
+	default:
+		return nil, fmt.Errorf("fabric: unit result %s carries neither micro nor t-MxM result", res.Unit.Name())
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&p); err != nil {
+		return nil, fmt.Errorf("fabric: encode unit result %s: %w", res.Unit.Name(), err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeUnitResult inverts EncodeUnitResult.
+func DecodeUnitResult(blob []byte) (*core.UnitResult, error) {
+	var p unitPayload
+	if err := gob.NewDecoder(bytes.NewReader(blob)).Decode(&p); err != nil {
+		return nil, fmt.Errorf("fabric: decode unit result: %w", err)
+	}
+	res := &core.UnitResult{Unit: p.Unit}
+	switch {
+	case p.Micro != nil:
+		res.Micro = p.Micro
+	case p.TMXM != nil:
+		w := p.TMXM
+		if len(w.PatternKeys) != len(w.PatternErrs) {
+			return nil, fmt.Errorf("fabric: unit result %s: %d pattern keys vs %d error pools", p.Unit.Name(), len(w.PatternKeys), len(w.PatternErrs))
+		}
+		r := &rtlfi.TMXMResult{
+			Spec:            w.Spec,
+			Tally:           w.Tally,
+			Patterns:        w.Patterns,
+			GoldenCycles:    w.GoldenCycles,
+			SimCycles:       w.SimCycles,
+			SkippedCycles:   w.SkippedCycles,
+			PrunedFaults:    w.PrunedFaults,
+			CollapsedFaults: w.CollapsedFaults,
+		}
+		if len(w.PatternKeys) > 0 {
+			r.PatternErrs = make(map[faults.Pattern][]float64, len(w.PatternKeys))
+			for i, pat := range w.PatternKeys {
+				r.PatternErrs[pat] = w.PatternErrs[i]
+			}
+		}
+		res.TMXM = r
+	default:
+		return nil, fmt.Errorf("fabric: unit result %s carries neither micro nor t-MxM result", p.Unit.Name())
+	}
+	return res, nil
+}

@@ -1,0 +1,129 @@
+package fabric
+
+import (
+	"bytes"
+	"context"
+	"reflect"
+	"testing"
+
+	"gpufi/internal/core"
+	"gpufi/internal/faults"
+	"gpufi/internal/isa"
+	"gpufi/internal/mxm"
+)
+
+// microUnit is a tiny micro-benchmark campaign for codec and coordinator
+// tests; a few dozen faults keep it fast while still producing non-trivial
+// syndromes.
+func microUnit(seed uint64) core.Unit {
+	return core.Unit{
+		Kind: core.UnitMicro, Op: isa.OpFADD, Range: faults.RangeMedium,
+		Module: faults.ModFP32, Faults: 40, Seed: seed,
+	}
+}
+
+func runUnit(t *testing.T, u core.Unit, engineWorkers int) *core.UnitResult {
+	t.Helper()
+	res, err := core.RunUnit(context.Background(), u, engineWorkers, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestCodecCanonicalAcrossWorkerCounts is the dedup precondition: the
+// same unit executed with different engine parallelism must encode to the
+// same bytes, because the coordinator byte-compares duplicate completions.
+func TestCodecCanonicalAcrossWorkerCounts(t *testing.T) {
+	u := microUnit(7)
+	a, err := EncodeUnitResult(runUnit(t, u, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EncodeUnitResult(runUnit(t, u, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("encodings differ across engine worker counts (%d vs %d bytes)", len(a), len(b))
+	}
+	// Repeated encoding of the same result is stable too (map ordering
+	// must not leak into the wire form).
+	res := runUnit(t, u, 2)
+	for i := 0; i < 5; i++ {
+		c, err := EncodeUnitResult(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, c) {
+			t.Fatalf("encoding attempt %d differs", i)
+		}
+	}
+}
+
+// TestCodecRoundTripMicro checks decode(encode(x)) preserves everything
+// the syndrome DB consumes, including non-finite relative errors that
+// rule out JSON as the payload encoding.
+func TestCodecRoundTripMicro(t *testing.T) {
+	res := runUnit(t, microUnit(7), 1)
+	blob, err := EncodeUnitResult(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeUnitResult(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Unit != res.Unit {
+		t.Fatalf("unit round-trip: got %+v want %+v", got.Unit, res.Unit)
+	}
+	want := *res.Micro
+	want.Spec.Workers = 0
+	want.Spec.Progress = nil
+	if !reflect.DeepEqual(*got.Micro, want) {
+		t.Fatal("micro result did not survive the round trip")
+	}
+	// Re-encoding the decoded result reproduces the original bytes: the
+	// canonical form is a fixed point.
+	blob2, err := EncodeUnitResult(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(blob, blob2) {
+		t.Fatal("re-encoding a decoded result changed the bytes")
+	}
+}
+
+// TestCodecRoundTripTMXM covers the map-flattening path: PatternErrs is
+// rebuilt from the key-sorted wire form.
+func TestCodecRoundTripTMXM(t *testing.T) {
+	u := core.Unit{Kind: core.UnitTMXM, Module: faults.ModPipe, Tile: mxm.TileRandom, Faults: 300, Seed: 9}
+	res := runUnit(t, u, 1)
+	if len(res.TMXM.PatternErrs) == 0 {
+		t.Fatal("test campaign produced no pattern errors; the map-flattening path is not exercised")
+	}
+	blob, err := EncodeUnitResult(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeUnitResult(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := *res.TMXM
+	want.Spec.Workers = 0
+	want.Spec.Progress = nil
+	if !reflect.DeepEqual(got.TMXM.PatternErrs, want.PatternErrs) {
+		t.Fatalf("PatternErrs round-trip: got %v want %v", got.TMXM.PatternErrs, want.PatternErrs)
+	}
+	if !reflect.DeepEqual(*got.TMXM, want) {
+		t.Fatal("t-MxM result did not survive the round trip")
+	}
+	blob2, err := EncodeUnitResult(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(blob, blob2) {
+		t.Fatal("re-encoding a decoded t-MxM result changed the bytes")
+	}
+}

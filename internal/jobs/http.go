@@ -103,7 +103,9 @@ const eventsPollInterval = 100 * time.Millisecond
 
 // handleEvents streams status snapshots as server-sent events. An event
 // is emitted whenever progress or state changes, and a final one when the
-// job reaches a terminal state, after which the stream ends.
+// job reaches a terminal state, after which the stream ends. Idle streams
+// carry periodic SSE comments (": keep-alive") every Config.SSEKeepAlive
+// so proxies and load balancers with read timeouts keep them open.
 func (s *Service) handleEvents(w http.ResponseWriter, r *http.Request) {
 	st, ok := s.Get(r.PathValue("id"))
 	if !ok {
@@ -131,12 +133,18 @@ func (s *Service) handleEvents(w http.ResponseWriter, r *http.Request) {
 	last := st
 	ticker := time.NewTicker(eventsPollInterval)
 	defer ticker.Stop()
+	keepAlive := time.NewTicker(s.cfg.SSEKeepAlive)
+	defer keepAlive.Stop()
 	for !last.State.Terminal() {
 		select {
 		case <-r.Context().Done():
 			return
 		case <-s.baseCtx.Done():
 			return
+		case <-keepAlive.C:
+			fmt.Fprint(w, ": keep-alive\n\n")
+			flusher.Flush()
+			continue
 		case <-ticker.C:
 		}
 		st, ok := s.Get(r.PathValue("id"))

@@ -167,6 +167,50 @@ func TestHTTPEvents(t *testing.T) {
 	}
 }
 
+// TestHTTPEventsKeepAlive checks that an idle SSE stream carries periodic
+// comment lines, so proxies and load balancers with read timeouts do not
+// sever long-lived streams between progress events.
+func TestHTTPEventsKeepAlive(t *testing.T) {
+	_, srv := newHTTPService(t, Config{Workers: 1, SSEKeepAlive: 20 * time.Millisecond})
+	slow := smallHPC()
+	slow.Injections = 100000
+	postJob(t, srv.URL, slow) // occupies the only job slot...
+	st := postJob(t, srv.URL, smallHPC())
+	// ...so this job stays queued and its event stream is idle.
+
+	resp, err := http.Get(srv.URL + "/jobs/" + st.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET events = %d, want 200", resp.StatusCode)
+	}
+	var dataLines, keepAlives int
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "data: "):
+			dataLines++
+		case strings.HasPrefix(line, ":"):
+			keepAlives++
+		}
+		if keepAlives >= 3 {
+			break
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if dataLines < 1 {
+		t.Errorf("idle stream sent %d data events, want the initial snapshot", dataLines)
+	}
+	if keepAlives < 3 {
+		t.Fatalf("idle stream sent %d keep-alive comments, want at least 3", keepAlives)
+	}
+}
+
 // TestHTTPCancelMidRun is the acceptance test's cancellation half: DELETE
 // on a running job cancels it without corrupting its checkpoint.
 func TestHTTPCancelMidRun(t *testing.T) {

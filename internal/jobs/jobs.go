@@ -137,10 +137,13 @@ type runEnv struct {
 }
 
 // program is a compiled job: its ordered units plus whether running them
-// needs a syndrome database loaded from Request.DBPath.
+// needs a syndrome database loaded from Request.DBPath. For characterize
+// jobs, charUnits holds the underlying core plan units (index-aligned
+// with units) so the distributed fabric can ship them to workers.
 type program struct {
-	units   []unit
-	needsDB bool
+	units     []unit
+	charUnits []core.Unit
+	needsDB   bool
 }
 
 // deriveSeed maps (jobSeed, unitName) to an independent engine seed via
@@ -210,6 +213,7 @@ func compileCharacterize(req Request) (*program, error) {
 	}
 	prog := &program{}
 	for _, cu := range core.Plan(cfg) {
+		prog.charUnits = append(prog.charUnits, cu)
 		prog.units = append(prog.units, unit{
 			name:  cu.Name(),
 			total: cu.Faults,
@@ -218,25 +222,34 @@ func compileCharacterize(req Request) (*program, error) {
 				if err != nil {
 					return nil, err
 				}
-				env.mu.Lock()
-				if res.Micro != nil {
-					env.char.AddMicro(res.Micro)
-				} else {
-					env.char.AddTMXM(res.TMXM)
-				}
-				env.mu.Unlock()
-				tel := res.Telemetry()
-				return json.Marshal(CharUnitResult{
-					Unit: cu.Name(), Seed: cu.Seed, Tally: res.Tally(),
-					SimCycles:       tel.SimCycles,
-					SkippedCycles:   tel.SkippedCycles,
-					PrunedFaults:    tel.PrunedFaults,
-					CollapsedFaults: tel.CollapsedFaults,
-				})
+				return ingestCharUnit(env, cu, res)
 			},
 		})
 	}
 	return prog, nil
+}
+
+// ingestCharUnit folds one executed characterisation unit into the job's
+// accumulating syndrome database and returns its journal record. It is
+// the single ingestion point shared by the local path (the unit ran in
+// this process) and the distributed fabric path (the result arrived from
+// a worker node), which is what keeps the two bit-identical.
+func ingestCharUnit(env *runEnv, cu core.Unit, res *core.UnitResult) (json.RawMessage, error) {
+	env.mu.Lock()
+	if res.Micro != nil {
+		env.char.AddMicro(res.Micro)
+	} else {
+		env.char.AddTMXM(res.TMXM)
+	}
+	env.mu.Unlock()
+	tel := res.Telemetry()
+	return json.Marshal(CharUnitResult{
+		Unit: cu.Name(), Seed: cu.Seed, Tally: res.Tally(),
+		SimCycles:       tel.SimCycles,
+		SkippedCycles:   tel.SkippedCycles,
+		PrunedFaults:    tel.PrunedFaults,
+		CollapsedFaults: tel.CollapsedFaults,
+	})
 }
 
 func compileHPC(req Request) (*program, error) {

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"gpufi/internal/core"
+	"gpufi/internal/fabric"
 	"gpufi/internal/syndrome"
 )
 
@@ -64,6 +65,19 @@ type Config struct {
 	// full. Default 1024.
 	QueueDepth int
 
+	// SSEKeepAlive is the idle keep-alive cadence of the /jobs/{id}/events
+	// stream: an SSE comment line is written whenever the stream would
+	// otherwise stay silent, so proxies and idle-timeout middleboxes do
+	// not sever long-running campaign streams. Default 15s.
+	SSEKeepAlive time.Duration
+
+	// Fabric, when non-nil, distributes characterize jobs' plan units
+	// across the coordinator's registered workers instead of running them
+	// in-process. Results are merged back in plan order, so a distributed
+	// job's journal, syndrome database and final result are bit-identical
+	// to a local run. HPC and CNN jobs always run locally.
+	Fabric *fabric.Coordinator
+
 	// Logf, when non-nil, receives service diagnostics (checkpoint write
 	// failures and the like).
 	Logf func(format string, args ...any)
@@ -81,6 +95,9 @@ func (c *Config) defaults() {
 	}
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 1024
+	}
+	if c.SSEKeepAlive <= 0 {
+		c.SSEKeepAlive = 15 * time.Second
 	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
@@ -117,10 +134,11 @@ type Status struct {
 	Total      int64           `json:"total"`
 	UnitsDone  int             `json:"units_done"`
 	UnitsTotal int             `json:"units_total"`
-	Error      string          `json:"error,omitempty"`
-	RTL        *RTLTelemetry   `json:"rtl,omitempty"` // characterize jobs, once a unit completed
-	SW         *SWTelemetry    `json:"sw,omitempty"`  // hpc/cnn jobs, once a unit completed
-	Result     json.RawMessage `json:"result,omitempty"`
+	Error      string            `json:"error,omitempty"`
+	RTL        *RTLTelemetry     `json:"rtl,omitempty"`    // characterize jobs, once a unit completed
+	SW         *SWTelemetry      `json:"sw,omitempty"`     // hpc/cnn jobs, once a unit completed
+	Fabric     *fabric.JobStatus `json:"fabric,omitempty"` // distributed jobs: worker/lease state
+	Result     json.RawMessage   `json:"result,omitempty"`
 }
 
 // RTLTelemetry is the status view of a characterize job's engine
@@ -407,7 +425,7 @@ func (s *Service) Get(id string) (Status, bool) {
 	if !ok {
 		return Status{}, false
 	}
-	return j.Status(), true
+	return s.statusOf(j), true
 }
 
 // List returns every known job's status in submission order.
@@ -420,9 +438,22 @@ func (s *Service) List() []Status {
 	s.mu.Unlock()
 	out := make([]Status, len(js))
 	for i, j := range js {
-		out[i] = j.Status()
+		out[i] = s.statusOf(j)
 	}
 	return out
+}
+
+// statusOf snapshots a job and, when the job is currently distributed
+// over the fabric, attaches the coordinator's worker/lease view so the
+// status JSON (and with it the SSE stream) exposes the fleet state.
+func (s *Service) statusOf(j *Job) Status {
+	st := j.Status()
+	if s.cfg.Fabric != nil && st.State == StateRunning {
+		if fs, ok := s.cfg.Fabric.JobStatus(st.ID); ok {
+			st.Fabric = &fs
+		}
+	}
+	return st
 }
 
 // Cancel stops a queued or running job. Cancelling is idempotent;
@@ -552,41 +583,18 @@ func (s *Service) runJob(j *Job) {
 		}
 	}()
 
-	base := int64(0)
-	for _, u := range prog.units {
-		j.mu.Lock()
-		_, doneAlready := j.completed[u.name]
-		j.mu.Unlock()
-		if doneAlready {
-			base += int64(u.total)
-			j.bumpDone(base)
-			continue
-		}
-		if ctx.Err() != nil {
-			break
-		}
-		off := base
-		raw, err := u.run(ctx, env, func(done, _ int) {
-			j.bumpDone(off + int64(done))
-		})
-		if err != nil {
-			if ctx.Err() != nil {
-				break // cancellation surfaces below, not as a failure
-			}
-			close(stopTick)
-			tickWG.Wait()
-			fail(fmt.Errorf("unit %s: %w", u.name, err))
-			return
-		}
-		base += int64(u.total)
-		j.bumpDone(base)
-		j.mu.Lock()
-		j.completed[u.name] = raw
-		j.mu.Unlock()
-		s.saveCheckpoint(j)
+	var runErr error
+	if s.cfg.Fabric != nil && len(prog.charUnits) == len(prog.units) {
+		runErr = s.runUnitsFabric(ctx, j, prog, env)
+	} else {
+		runErr = s.runUnitsLocal(ctx, j, prog, env)
 	}
 	close(stopTick)
 	tickWG.Wait()
+	if runErr != nil && ctx.Err() == nil {
+		fail(runErr)
+		return
+	}
 
 	if ctx.Err() != nil {
 		j.mu.Lock()
@@ -606,7 +614,13 @@ func (s *Service) runJob(j *Job) {
 	res := Result{Kind: j.req.Kind}
 	j.mu.Lock()
 	for _, u := range prog.units {
-		res.Units = append(res.Units, j.completed[u.name])
+		raw, ok := j.completed[u.name]
+		if !ok {
+			j.mu.Unlock()
+			fail(fmt.Errorf("unit %s finished without a recorded result", u.name))
+			return
+		}
+		res.Units = append(res.Units, raw)
 	}
 	if j.req.Kind == KindCharacterize {
 		res.DB = j.db
@@ -623,6 +637,103 @@ func (s *Service) runJob(j *Job) {
 	j.cancel = nil
 	j.mu.Unlock()
 	s.saveCheckpoint(j)
+}
+
+// runUnitsLocal executes the program's units sequentially in this
+// process. A nil return with ctx still alive means every unit is in
+// j.completed.
+func (s *Service) runUnitsLocal(ctx context.Context, j *Job, prog *program, env *runEnv) error {
+	base := int64(0)
+	for _, u := range prog.units {
+		j.mu.Lock()
+		_, doneAlready := j.completed[u.name]
+		j.mu.Unlock()
+		if doneAlready {
+			base += int64(u.total)
+			j.bumpDone(base)
+			continue
+		}
+		if ctx.Err() != nil {
+			return nil
+		}
+		off := base
+		raw, err := u.run(ctx, env, func(done, _ int) {
+			j.bumpDone(off + int64(done))
+		})
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil // cancellation surfaces in runJob, not as a failure
+			}
+			return fmt.Errorf("unit %s: %w", u.name, err)
+		}
+		base += int64(u.total)
+		j.bumpDone(base)
+		j.mu.Lock()
+		j.completed[u.name] = raw
+		j.mu.Unlock()
+		s.saveCheckpoint(j)
+	}
+	return nil
+}
+
+// runUnitsFabric distributes the program's units through the fabric
+// coordinator. Results are consumed in plan order (Await blocks until
+// the coordinator has the next unit's result), so the syndrome DB and
+// the checkpoint journal are assembled exactly as in the local path and
+// the merged output is bit-identical to a single-node run.
+func (s *Service) runUnitsFabric(ctx context.Context, j *Job, prog *program, env *runEnv) error {
+	// Units finished before a restart stay finished; only ship the rest.
+	var pending []core.Unit
+	doneBase := int64(0)
+	j.mu.Lock()
+	for i, u := range prog.units {
+		if _, ok := j.completed[u.name]; ok {
+			doneBase += int64(u.total)
+		} else {
+			pending = append(pending, prog.charUnits[i])
+		}
+	}
+	j.mu.Unlock()
+	j.bumpDone(doneBase)
+	if len(pending) == 0 {
+		return nil
+	}
+
+	handle, err := s.cfg.Fabric.StartJob(j.id, pending, func(doneFaults int) {
+		j.bumpDone(doneBase + int64(doneFaults))
+	})
+	if err != nil {
+		return fmt.Errorf("fabric: %w", err)
+	}
+	defer handle.Stop()
+
+	completedFaults := doneBase
+	for i, u := range prog.units {
+		j.mu.Lock()
+		_, doneAlready := j.completed[u.name]
+		j.mu.Unlock()
+		if doneAlready {
+			continue
+		}
+		res, err := handle.Await(ctx, u.name)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil // cancellation surfaces in runJob
+			}
+			return fmt.Errorf("unit %s: %w", u.name, err)
+		}
+		raw, err := ingestCharUnit(env, prog.charUnits[i], res)
+		if err != nil {
+			return fmt.Errorf("unit %s: %w", u.name, err)
+		}
+		completedFaults += int64(u.total)
+		j.bumpDone(completedFaults)
+		j.mu.Lock()
+		j.completed[u.name] = raw
+		j.mu.Unlock()
+		s.saveCheckpoint(j)
+	}
+	return nil
 }
 
 // saveCheckpoint journals a job atomically (temp file + rename), so a
@@ -695,6 +806,9 @@ func atomicWriteFile(path string, data []byte, perm os.FileMode) error {
 	if err := tmp.Chmod(perm); err != nil {
 		return err
 	}
+	if err := tmp.Sync(); err != nil {
+		return err
+	}
 	if err := tmp.Close(); err != nil {
 		return err
 	}
@@ -704,5 +818,18 @@ func atomicWriteFile(path string, data []byte, perm os.FileMode) error {
 		os.Remove(name)
 		return err
 	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives a crash.
+// Filesystems that reject directory fsync (it is optional on some) are
+// tolerated: the rename itself already happened.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return nil
+	}
+	defer d.Close()
+	_ = d.Sync()
 	return nil
 }
