@@ -441,25 +441,29 @@ func BenchmarkFig7_TMxMAVF(b *testing.B) {
 	}
 }
 
-// rtlfiBenchModes are the four engine configurations the RTL-FI
+// rtlfiBenchModes are the five engine configurations the RTL-FI
 // campaign benchmarks compare: FullReplay is the pre-optimisation path
 // (every faulty run re-simulates the golden prefix from cycle 0),
 // FastForward adds the checkpoint restore, Pruned additionally
 // classifies provably-dead faults from golden-run liveness without
-// simulating them, and Collapsed (the engine default) further tallies
-// fault-equivalence class members from their representative's memo.
-// Results are bit-identical across all four
-// (internal/rtlfi/fastforward_test.go, prune_test.go, collapse_test.go).
+// simulating them, Collapsed further tallies fault-equivalence class
+// members from their representative's memo, and BitParallel (the engine
+// default) additionally simulates the remaining live faults as lanes of
+// shared golden-replay marches. Results are bit-identical across all
+// five (internal/rtlfi/fastforward_test.go, prune_test.go,
+// collapse_test.go, vec_test.go).
 var rtlfiBenchModes = []struct {
-	name       string
-	noFF       bool
-	noPrune    bool
-	noCollapse bool
+	name          string
+	noBitParallel bool
+	noFF          bool
+	noPrune       bool
+	noCollapse    bool
 }{
-	{"Collapsed", false, false, false},
-	{"Pruned", false, false, true},
-	{"FastForward", false, true, true},
-	{"FullReplay", true, true, true},
+	{"BitParallel", false, false, false, false},
+	{"Collapsed", true, false, false, false},
+	{"Pruned", true, false, false, true},
+	{"FastForward", true, false, true, true},
+	{"FullReplay", true, true, true, true},
 }
 
 // BenchmarkRTLFI_TMxMCampaign measures the wall-clock of one t-MxM
@@ -472,6 +476,7 @@ func BenchmarkRTLFI_TMxMCampaign(b *testing.B) {
 				res, err := rtlfi.RunTMXM(rtlfi.TMXMSpec{
 					Module: faults.ModPipe, Kind: mxm.TileRandom,
 					NumFaults: 400, Seed: 99,
+					NoBitParallel: mode.noBitParallel,
 					NoFastForward: mode.noFF, NoPrune: mode.noPrune, NoCollapse: mode.noCollapse,
 				})
 				if err != nil {
@@ -560,6 +565,7 @@ func BenchmarkRTLFI_MicroCampaign(b *testing.B) {
 					res, err := rtlfi.RunMicro(rtlfi.Spec{
 						Op: isa.OpFFMA, Range: faults.RangeMedium, Module: spec.mod,
 						NumFaults: 1000, Seed: 98,
+						NoBitParallel: mode.noBitParallel,
 						NoFastForward: mode.noFF, NoPrune: mode.noPrune, NoCollapse: mode.noCollapse,
 					})
 					if err != nil {
@@ -580,16 +586,17 @@ func BenchmarkRTLFI_MicroCampaign(b *testing.B) {
 // a long-running SFU op holds the pipeline registers live across its
 // whole iteration loop, and at this fault density the (draw, bit, read
 // gap) equivalence classes saturate, so a meaningful share of live
-// faults is tallied from memos instead of simulated. Only the two modes
+// faults is tallied from memos instead of simulated. Only the modes
 // that finish in reasonable time at this density run; the cheap modes'
 // absolute comparison lives in BenchmarkRTLFI_MicroCampaign.
 func BenchmarkRTLFI_MicroCampaignPipeDense(b *testing.B) {
-	for _, mode := range rtlfiBenchModes[:2] {
+	for _, mode := range rtlfiBenchModes[:3] {
 		b.Run(mode.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				res, err := rtlfi.RunMicro(rtlfi.Spec{
 					Op: isa.OpFSIN, Range: faults.RangeMedium, Module: faults.ModPipe,
 					NumFaults: 1_000_000, Seed: 98,
+					NoBitParallel: mode.noBitParallel,
 					NoFastForward: mode.noFF, NoPrune: mode.noPrune, NoCollapse: mode.noCollapse,
 				})
 				if err != nil {
@@ -599,6 +606,8 @@ func BenchmarkRTLFI_MicroCampaignPipeDense(b *testing.B) {
 					b.ReportMetric(res.ReplaySpeedup(), "replay-speedup")
 					b.ReportMetric(res.PruneRate(), "prune-rate")
 					b.ReportMetric(res.CollapseRate(), "collapse-rate")
+					b.ReportMetric(res.VectorRate(), "vector-rate")
+					b.ReportMetric(res.LaneOccupancy(), "lane-occupancy")
 				}
 			}
 		})

@@ -49,6 +49,7 @@ func main() {
 		verbose    = flag.Bool("v", false, "print per-campaign summaries")
 		noPrune    = flag.Bool("no-prune", false, "disable dead-site fault pruning (results are bit-identical either way)")
 		noCollapse = flag.Bool("no-collapse", false, "disable fault-equivalence collapsing (results are bit-identical either way)")
+		noBitPar   = flag.Bool("no-bit-parallel", false, "disable bit-parallel fault marching (results are bit-identical either way)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this path")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this path on exit")
 	)
@@ -65,7 +66,7 @@ func main() {
 	defer stop()
 
 	if *opName != "" {
-		runSingle(ctx, *opName, *rngName, *modName, *nFaults, *seed, *noPrune, *noCollapse)
+		runSingle(ctx, *opName, *rngName, *modName, *nFaults, *seed, *noPrune, *noCollapse, *noBitPar)
 		return
 	}
 
@@ -76,6 +77,7 @@ func main() {
 		Seed:              *seed,
 		NoPrune:           *noPrune,
 		NoCollapse:        *noCollapse,
+		NoBitParallel:     *noBitPar,
 		Progress: func(d, t int) {
 			progressMax(&done, int64(d))
 			total.Store(int64(t))
@@ -101,9 +103,10 @@ func main() {
 		}
 	}
 	tel := char.Telemetry()
-	log.Printf("engine: %d injections, %d cycles simulated, %d skipped, %d dead-pruned, %d collapsed (prune rate %.1f%%, collapse rate %.1f%%, replay speedup %.1fx)",
+	log.Printf("engine: %d injections, %d cycles simulated, %d skipped, %d dead-pruned, %d collapsed, %d marched in %d marches (prune rate %.1f%%, collapse rate %.1f%%, vector rate %.1f%%, lane occupancy %.1f%%, replay speedup %.1fx)",
 		tel.Injections, tel.SimCycles, tel.SkippedCycles, tel.PrunedFaults, tel.CollapsedFaults,
-		100*tel.PruneRate(), 100*tel.CollapseRate(), tel.ReplaySpeedup())
+		tel.VectorFaults, tel.Marches,
+		100*tel.PruneRate(), 100*tel.CollapseRate(), 100*tel.VectorRate(), 100*tel.LaneOccupancy(), tel.ReplaySpeedup())
 	if err := gpufi.SaveDB(char.DB, *out); err != nil {
 		log.Fatal(err)
 	}
@@ -123,7 +126,7 @@ func progressMax(v *atomic.Int64, n int64) {
 
 // runSingle characterises one (op, range, module) pool and prints its
 // detailed statistics.
-func runSingle(ctx context.Context, opName, rngName, modName string, nFaults int, seed uint64, noPrune, noCollapse bool) {
+func runSingle(ctx context.Context, opName, rngName, modName string, nFaults int, seed uint64, noPrune, noCollapse, noBitPar bool) {
 	op, ok := parseOp(opName)
 	if !ok {
 		log.Fatalf("unknown opcode %q", opName)
@@ -139,7 +142,7 @@ func runSingle(ctx context.Context, opName, rngName, modName string, nFaults int
 	var done atomic.Int64
 	res, err := rtlfi.RunMicroCtx(ctx, rtlfi.Spec{
 		Op: op, Range: rng, Module: mod, NumFaults: nFaults, Seed: seed,
-		NoPrune: noPrune, NoCollapse: noCollapse,
+		NoPrune: noPrune, NoCollapse: noCollapse, NoBitParallel: noBitPar,
 		Progress: func(d, t int) { progressMax(&done, int64(d)) },
 	})
 	if err != nil {
@@ -159,9 +162,10 @@ func runSingle(ctx context.Context, opName, rngName, modName string, nFaults int
 		t.Maskeds, t.SDCs(), t.SDCSingle, t.SDCMulti, t.DUEs)
 	fmt.Printf("  AVF: SDC %.3f%%  DUE %.3f%%  avg corrupted threads %.1f\n",
 		100*t.AVFSDC(), 100*t.AVFDUE(), t.AvgThreads())
-	fmt.Printf("  engine: %d cycles simulated, %d skipped, %d dead-pruned, %d collapsed (prune rate %.1f%%, collapse rate %.1f%%, replay speedup %.1fx)\n",
+	fmt.Printf("  engine: %d cycles simulated, %d skipped, %d dead-pruned, %d collapsed, %d marched in %d marches (prune rate %.1f%%, collapse rate %.1f%%, vector rate %.1f%%, lane occupancy %.1f%%, replay speedup %.1fx)\n",
 		res.SimCycles, res.SkippedCycles, res.PrunedFaults, res.CollapsedFaults,
-		100*res.PruneRate(), 100*res.CollapseRate(), res.ReplaySpeedup())
+		res.VectorFaults, res.Marches,
+		100*res.PruneRate(), 100*res.CollapseRate(), 100*res.VectorRate(), 100*res.LaneOccupancy(), res.ReplaySpeedup())
 	if e.Fit != nil {
 		fmt.Printf("  syndrome power law: alpha=%.3f xmin=%.3g KS=%.3f (median %.3g, avg bits %.1f)\n",
 			e.Fit.Alpha, e.Fit.Xmin, e.Fit.KS, e.Median, e.AvgBits)

@@ -37,6 +37,7 @@ type CharacterizeConfig struct {
 	SkipTMXM          bool                // skip the t-MxM campaigns (micro-benchmarks only)
 	NoPrune           bool                // disable dead-site pruning (see rtlfi.Spec.NoPrune)
 	NoCollapse        bool                // disable fault-equivalence collapsing (see rtlfi.Spec.NoCollapse)
+	NoBitParallel     bool                // disable bit-parallel marching (see rtlfi.Spec.NoBitParallel)
 
 	// Progress, when non-nil, receives fault-level progress aggregated
 	// over the whole characterisation plan. It may be called concurrently
@@ -81,15 +82,16 @@ const (
 // any order — or skipped and re-run after an interruption — and still
 // reproduce exactly the campaign an uninterrupted Characterize would run.
 type Unit struct {
-	Kind       UnitKind
-	Op         isa.Opcode        // UnitMicro only
-	Range      faults.InputRange // UnitMicro only
-	Module     faults.Module
-	Tile       mxm.TileKind // UnitTMXM only
-	Faults     int
-	Seed       uint64
-	NoPrune    bool // campaign results are bit-identical either way
-	NoCollapse bool // disable fault-equivalence collapsing; bit-identical either way
+	Kind          UnitKind
+	Op            isa.Opcode        // UnitMicro only
+	Range         faults.InputRange // UnitMicro only
+	Module        faults.Module
+	Tile          mxm.TileKind // UnitTMXM only
+	Faults        int
+	Seed          uint64
+	NoPrune       bool // campaign results are bit-identical either way
+	NoCollapse    bool // disable fault-equivalence collapsing; bit-identical either way
+	NoBitParallel bool // disable bit-parallel marching; bit-identical either way
 }
 
 // Name returns the unit's stable identifier, used as the checkpoint key
@@ -117,6 +119,7 @@ func Plan(cfg CharacterizeConfig) []Unit {
 				units = append(units, Unit{
 					Kind: UnitMicro, Op: op, Range: rng, Module: mod,
 					Faults: cfg.FaultsPerCampaign, Seed: seed, NoPrune: cfg.NoPrune,
+					NoCollapse: cfg.NoCollapse, NoBitParallel: cfg.NoBitParallel,
 				})
 			}
 		}
@@ -130,6 +133,7 @@ func Plan(cfg CharacterizeConfig) []Unit {
 			units = append(units, Unit{
 				Kind: UnitTMXM, Module: mod, Tile: kind,
 				Faults: cfg.TMXMFaults, Seed: seed, NoPrune: cfg.NoPrune,
+				NoCollapse: cfg.NoCollapse, NoBitParallel: cfg.NoBitParallel,
 			})
 		}
 	}
@@ -164,6 +168,13 @@ type Telemetry struct {
 	SkippedCycles   uint64 `json:"skipped_cycles"`
 	PrunedFaults    uint64 `json:"pruned_faults"`
 	CollapsedFaults uint64 `json:"collapsed_faults"`
+
+	// VectorFaults counts injections simulated as lanes of a bit-parallel
+	// march rather than on a scalar machine of their own; Marches counts
+	// the marches that carried them. Always 0 with bit-parallel
+	// simulation disabled.
+	VectorFaults uint64 `json:"vector_faults"`
+	Marches      uint64 `json:"marches"`
 }
 
 // Merge accumulates another campaign's counters.
@@ -173,6 +184,8 @@ func (t *Telemetry) Merge(o Telemetry) {
 	t.SkippedCycles += o.SkippedCycles
 	t.PrunedFaults += o.PrunedFaults
 	t.CollapsedFaults += o.CollapsedFaults
+	t.VectorFaults += o.VectorFaults
+	t.Marches += o.Marches
 }
 
 // ReplaySpeedup returns total fault-run cycles over cycles actually
@@ -204,6 +217,25 @@ func (t Telemetry) CollapseRate() float64 {
 	return float64(t.CollapsedFaults) / float64(t.Injections)
 }
 
+// VectorRate returns the share of injections simulated as bit-parallel
+// march lanes.
+func (t Telemetry) VectorRate() float64 {
+	if t.Injections == 0 {
+		return 0
+	}
+	return float64(t.VectorFaults) / float64(t.Injections)
+}
+
+// LaneOccupancy returns the mean fill of the campaign's marches: vector
+// faults per march over the lane capacity (rtl.VecMaxLanes). Zero when
+// no march ran.
+func (t Telemetry) LaneOccupancy() float64 {
+	if t.Marches == 0 {
+		return 0
+	}
+	return float64(t.VectorFaults) / float64(t.Marches) / float64(rtl.VecMaxLanes)
+}
+
 // Telemetry returns the unit's engine counters regardless of kind.
 func (r *UnitResult) Telemetry() Telemetry {
 	if r.Micro != nil {
@@ -213,6 +245,8 @@ func (r *UnitResult) Telemetry() Telemetry {
 			SkippedCycles:   r.Micro.SkippedCycles,
 			PrunedFaults:    r.Micro.PrunedFaults,
 			CollapsedFaults: r.Micro.CollapsedFaults,
+			VectorFaults:    r.Micro.VectorFaults,
+			Marches:         r.Micro.Marches,
 		}
 	}
 	return Telemetry{
@@ -221,6 +255,8 @@ func (r *UnitResult) Telemetry() Telemetry {
 		SkippedCycles:   r.TMXM.SkippedCycles,
 		PrunedFaults:    r.TMXM.PrunedFaults,
 		CollapsedFaults: r.TMXM.CollapsedFaults,
+		VectorFaults:    r.TMXM.VectorFaults,
+		Marches:         r.TMXM.Marches,
 	}
 }
 
@@ -235,6 +271,8 @@ func (c *Characterization) Telemetry() Telemetry {
 			SkippedCycles:   r.SkippedCycles,
 			PrunedFaults:    r.PrunedFaults,
 			CollapsedFaults: r.CollapsedFaults,
+			VectorFaults:    r.VectorFaults,
+			Marches:         r.Marches,
 		})
 	}
 	for _, r := range c.TMXM {
@@ -244,6 +282,8 @@ func (c *Characterization) Telemetry() Telemetry {
 			SkippedCycles:   r.SkippedCycles,
 			PrunedFaults:    r.PrunedFaults,
 			CollapsedFaults: r.CollapsedFaults,
+			VectorFaults:    r.VectorFaults,
+			Marches:         r.Marches,
 		})
 	}
 	return t
@@ -257,7 +297,8 @@ func RunUnit(ctx context.Context, u Unit, workers int, progress func(done, total
 		res, err := rtlfi.RunMicroCtx(ctx, rtlfi.Spec{
 			Op: u.Op, Range: u.Range, Module: u.Module,
 			NumFaults: u.Faults, Seed: u.Seed, Workers: workers,
-			NoPrune: u.NoPrune, NoCollapse: u.NoCollapse, Progress: progress,
+			NoPrune: u.NoPrune, NoCollapse: u.NoCollapse, NoBitParallel: u.NoBitParallel,
+			Progress: progress,
 		})
 		if err != nil {
 			return nil, err
@@ -267,7 +308,8 @@ func RunUnit(ctx context.Context, u Unit, workers int, progress func(done, total
 		res, err := rtlfi.RunTMXMCtx(ctx, rtlfi.TMXMSpec{
 			Module: u.Module, Kind: u.Tile,
 			NumFaults: u.Faults, Seed: u.Seed, Workers: workers,
-			NoPrune: u.NoPrune, NoCollapse: u.NoCollapse, Progress: progress,
+			NoPrune: u.NoPrune, NoCollapse: u.NoCollapse, NoBitParallel: u.NoBitParallel,
+			Progress: progress,
 		})
 		if err != nil {
 			return nil, err

@@ -281,9 +281,11 @@ func (w *worker) heartbeatLoop(ctx context.Context) {
 			flights[key] = fl
 		}
 		w.mu.Unlock()
-		if len(beats) == 0 {
-			continue
-		}
+		// Send even when beats is empty: an idle worker's heartbeat is what
+		// keeps its registration alive. Skipping it leaves lastSeen to the
+		// Lease poll alone, and a worker with a long poll interval drifts
+		// past the coordinator's silence horizon, gets garbage-collected,
+		// and flaps through re-registration.
 		reply, err := call(ctx, w, func(id string) (HeartbeatReply, error) {
 			return w.tr.Heartbeat(HeartbeatRequest{WorkerID: id, Beats: beats})
 		})

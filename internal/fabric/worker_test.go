@@ -1,0 +1,60 @@
+package fabric
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestIdleWorkerSurvivesSweeper: a worker with nothing to do must keep
+// heartbeating so the coordinator's silence sweeper never garbage-collects
+// it. The worker polls for leases only every 2s here — far beyond the 4×
+// lease-timeout silence horizon (160ms) — so the empty heartbeat is the
+// only thing keeping it registered. A regression to the old behaviour
+// (skip Heartbeat when no units are in flight) makes the worker vanish
+// from Status and flap through re-registration.
+func TestIdleWorkerSurvivesSweeper(t *testing.T) {
+	c := fastCoordinator(t)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = RunWorker(ctx, c, WorkerConfig{
+			Name: "idle",
+			Poll: 2 * time.Second,
+			Logf: t.Logf,
+		})
+	}()
+	defer func() { cancel(); <-done }()
+
+	// Wait for registration, remember the identity.
+	var id string
+	waitCond(t, 2*time.Second, "worker registration", func() bool {
+		st := c.Status()
+		if len(st.Workers) != 1 {
+			return false
+		}
+		id = st.Workers[0].ID
+		return true
+	})
+
+	// Sit well past the sweeper's silence horizon (4 × 40ms lease timeout)
+	// with no work registered. The idle worker must stay present, live,
+	// and keep its original identity the whole time.
+	deadline := time.Now().Add(400 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		st := c.Status()
+		if len(st.Workers) != 1 {
+			t.Fatalf("idle worker was swept: %d workers registered", len(st.Workers))
+		}
+		if st.Workers[0].ID != id {
+			t.Fatalf("idle worker flapped: identity changed %s -> %s", id, st.Workers[0].ID)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if st := c.Status(); !st.Workers[0].Live {
+		t.Fatal("idle worker is not live after sitting past the silence horizon")
+	}
+}

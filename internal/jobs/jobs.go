@@ -55,13 +55,14 @@ type Request struct {
 	Seed uint64 `json:"seed"`
 
 	// Characterize jobs.
-	Faults     int      `json:"faults,omitempty"`      // per micro campaign; default 2000
-	TMXMFaults int      `json:"tmxm_faults,omitempty"` // per t-MxM campaign; default Faults
-	SkipTMXM   bool     `json:"skip_tmxm,omitempty"`
-	NoPrune    bool     `json:"no_prune,omitempty"`    // disable dead-site pruning (bit-identical results)
-	NoCollapse bool     `json:"no_collapse,omitempty"` // disable fault-equivalence collapsing (bit-identical results)
-	Ops        []string `json:"ops,omitempty"`         // opcode subset; default all 12
-	Ranges     []string `json:"ranges,omitempty"`      // input-range subset; default S, M, L
+	Faults        int      `json:"faults,omitempty"`      // per micro campaign; default 2000
+	TMXMFaults    int      `json:"tmxm_faults,omitempty"` // per t-MxM campaign; default Faults
+	SkipTMXM      bool     `json:"skip_tmxm,omitempty"`
+	NoPrune       bool     `json:"no_prune,omitempty"`        // disable dead-site pruning (bit-identical results)
+	NoCollapse    bool     `json:"no_collapse,omitempty"`     // disable fault-equivalence collapsing (bit-identical results)
+	NoBitParallel bool     `json:"no_bit_parallel,omitempty"` // disable bit-parallel marching (bit-identical results)
+	Ops           []string `json:"ops,omitempty"`             // opcode subset; default all 12
+	Ranges        []string `json:"ranges,omitempty"`          // input-range subset; default S, M, L
 
 	// HPC and CNN jobs.
 	Injections int       `json:"injections,omitempty"` // per unit; default 500
@@ -82,6 +83,8 @@ type CharUnitResult struct {
 	SkippedCycles   uint64       `json:"skipped_cycles"`
 	PrunedFaults    uint64       `json:"pruned_faults"`
 	CollapsedFaults uint64       `json:"collapsed_faults"`
+	VectorFaults    uint64       `json:"vector_faults"`
+	Marches         uint64       `json:"marches"`
 }
 
 // HPCUnitResult is one completed (application, fault model) campaign.
@@ -196,6 +199,7 @@ func compileCharacterize(req Request) (*program, error) {
 		SkipTMXM:          req.SkipTMXM,
 		NoPrune:           req.NoPrune,
 		NoCollapse:        req.NoCollapse,
+		NoBitParallel:     req.NoBitParallel,
 	}
 	for _, name := range req.Ops {
 		op, ok := parseOp(name)
@@ -249,6 +253,8 @@ func ingestCharUnit(env *runEnv, cu core.Unit, res *core.UnitResult) (json.RawMe
 		SkippedCycles:   tel.SkippedCycles,
 		PrunedFaults:    tel.PrunedFaults,
 		CollapsedFaults: tel.CollapsedFaults,
+		VectorFaults:    tel.VectorFaults,
+		Marches:         tel.Marches,
 	})
 }
 

@@ -127,13 +127,13 @@ type Job struct {
 
 // Status is a point-in-time, JSON-ready view of a job.
 type Status struct {
-	ID         string          `json:"id"`
-	Kind       Kind            `json:"kind"`
-	State      State           `json:"state"`
-	Done       int64           `json:"done"`
-	Total      int64           `json:"total"`
-	UnitsDone  int             `json:"units_done"`
-	UnitsTotal int             `json:"units_total"`
+	ID         string            `json:"id"`
+	Kind       Kind              `json:"kind"`
+	State      State             `json:"state"`
+	Done       int64             `json:"done"`
+	Total      int64             `json:"total"`
+	UnitsDone  int               `json:"units_done"`
+	UnitsTotal int               `json:"units_total"`
 	Error      string            `json:"error,omitempty"`
 	RTL        *RTLTelemetry     `json:"rtl,omitempty"`    // characterize jobs, once a unit completed
 	SW         *SWTelemetry      `json:"sw,omitempty"`     // hpc/cnn jobs, once a unit completed
@@ -151,6 +151,8 @@ type RTLTelemetry struct {
 	ReplaySpeedup float64 `json:"replay_speedup,omitempty"`
 	PruneRate     float64 `json:"prune_rate"`
 	CollapseRate  float64 `json:"collapse_rate"`
+	VectorRate    float64 `json:"vector_rate"`
+	LaneOccupancy float64 `json:"lane_occupancy"`
 }
 
 // SWTelemetry is the status view of a software-level (HPC or CNN) job's
@@ -204,6 +206,8 @@ func (j *Job) rtlTelemetry() *RTLTelemetry {
 			SkippedCycles:   u.SkippedCycles,
 			PrunedFaults:    u.PrunedFaults,
 			CollapsedFaults: u.CollapsedFaults,
+			VectorFaults:    u.VectorFaults,
+			Marches:         u.Marches,
 		})
 	}
 	// A fully pruned aggregate has an infinite speedup, which JSON cannot
@@ -213,6 +217,8 @@ func (j *Job) rtlTelemetry() *RTLTelemetry {
 	}
 	agg.PruneRate = agg.Telemetry.PruneRate()
 	agg.CollapseRate = agg.Telemetry.CollapseRate()
+	agg.VectorRate = agg.Telemetry.VectorRate()
+	agg.LaneOccupancy = agg.Telemetry.LaneOccupancy()
 	return agg
 }
 

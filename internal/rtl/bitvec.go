@@ -96,6 +96,13 @@ type State struct {
 	// state, they are not dataflow.
 	live    *Liveness
 	liveMod int
+
+	// vec, when non-nil, receives the same semantic accesses for the
+	// bit-parallel march engine (vec.go): reads probe the lane-divergence
+	// planes, writes feed the undo/write log. vecMod mirrors liveMod.
+	// Snapshot/Restore/CopyFrom bypass it for the same reason as live.
+	vec    *vecTracer
+	vecMod int
 }
 
 // NewState allocates zeroed flip-flops for a layout.
@@ -118,6 +125,16 @@ func (s *State) Get(fi int) uint64 {
 	if s.live != nil {
 		s.live.onRead(s.liveMod, fi)
 	}
+	if s.vec != nil && s.vec.hot == nil {
+		s.vec.onFFRead(s.vecMod, fi)
+	}
+	return s.getRaw(fi)
+}
+
+// getRaw is Get without the tracing hooks: the raw field extraction used
+// by the hooks themselves and by the march engine's delta bookkeeping
+// (which captures state rather than modelling dataflow).
+func (s *State) getRaw(fi int) uint64 {
 	f := s.Lay.Fields[fi]
 	w, b := f.Offset/64, uint(f.Offset%64)
 	v := s.words[w] >> b
@@ -135,6 +152,14 @@ func (s *State) Set(fi int, v uint64) {
 	if s.live != nil {
 		s.live.onWrite(s.liveMod, fi)
 	}
+	if s.vec != nil && s.vec.hot == nil {
+		s.vec.onFFWrite(s.vecMod, fi, v)
+	}
+	s.setRaw(fi, v)
+}
+
+// setRaw is Set without the tracing hooks (see getRaw).
+func (s *State) setRaw(fi int, v uint64) {
 	f := s.Lay.Fields[fi]
 	var mask uint64 = ^uint64(0)
 	if f.Width < 64 {

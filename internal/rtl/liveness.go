@@ -1,8 +1,6 @@
 package rtl
 
 import (
-	"sort"
-
 	"gpufi/internal/faults"
 )
 
@@ -160,8 +158,38 @@ func (l *Liveness) DeadAt(mod faults.Module, bit int, cycle uint64) bool {
 	}
 	s := l.cycleStart[cycle]
 	sp := ml.spans[ml.lay.fieldAt[bit]]
-	i := sort.Search(len(sp), func(i int) bool { return sp[i].start > s }) - 1
+	i := searchSpanAfter(sp, s) - 1
 	return i < 0 || s >= sp[i].end
+}
+
+// searchSpanAfter returns the index of the first span starting after s —
+// sort.Search specialised to avoid the per-probe closure call on the
+// campaign engines' hottest query path (one dead-site check per fault).
+func searchSpanAfter(sp []liveSpan, s uint64) int {
+	lo, hi := 0, len(sp)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if sp[mid].start > s {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// searchReadAfter is searchSpanAfter for read boundaries.
+func searchReadAfter(rd []uint64, s uint64) int {
+	lo, hi := 0, len(rd)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if rd[mid] > s {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
 }
 
 // GapAt refines DeadAt's live/dead answer into the read-gap index behind
@@ -191,15 +219,14 @@ func (l *Liveness) GapAt(mod faults.Module, bit int, cycle uint64) (int, bool) {
 	s := l.cycleStart[cycle]
 	fi := ml.lay.fieldAt[bit]
 	sp := ml.spans[fi]
-	i := sort.Search(len(sp), func(i int) bool { return sp[i].start > s }) - 1
+	i := searchSpanAfter(sp, s) - 1
 	if i < 0 || s >= sp[i].end {
 		return 0, false
 	}
 	// reads[fi] keeps one boundary per cycle; since fault sites are cycle
 	// starts too, "first recorded read after s" induces the same
 	// partition as "first read event after s" while staying compact.
-	rd := ml.reads[fi]
-	return sort.Search(len(rd), func(j int) bool { return rd[j] > s }), true
+	return searchReadAfter(ml.reads[fi], s), true
 }
 
 // TraceLiveness attaches l to every module state so the next Run records

@@ -81,6 +81,7 @@ type Machine struct {
 	globalOwned bool // global was allocated by Restore, not passed to Run
 	pruned      bool // last run stopped early on golden reconvergence
 	live        *Liveness
+	vec         *vecTracer // march-engine access tracer; nil on scalar machines
 
 	// hiDirty is the per-warp dirty high-water mark: every warp at or
 	// above it is in the canonical empty-warp state resetWarp
@@ -169,6 +170,17 @@ func (m *Machine) Run(prog *kasm.Program, grid, block int, global []uint32, shar
 // handed to sink. The snapshots do not perturb execution; resuming any of
 // them with RunFrom replays the remaining cycles bit-identically.
 func (m *Machine) RunCheckpointed(prog *kasm.Program, grid, block int, global []uint32, sharedWords int, maxCycles, every uint64, sink func(*Snapshot)) error {
+	if err := m.launch(prog, grid, block, global, sharedWords, maxCycles); err != nil {
+		return err
+	}
+	return m.runLoop(every, sink, nil)
+}
+
+// launch performs Run's preamble without entering the cycle loop: validate
+// the launch geometry, bind the program and memories, reset every module
+// and load the first block's warp table. The bit-parallel march engine
+// (vec.go) uses it to drive the golden machine cycle by cycle itself.
+func (m *Machine) launch(prog *kasm.Program, grid, block int, global []uint32, sharedWords int, maxCycles uint64) error {
 	if prog == nil || len(prog.Instrs) == 0 {
 		return fmt.Errorf("%w: empty program", ErrBadLaunch)
 	}
@@ -196,7 +208,7 @@ func (m *Machine) RunCheckpointed(prog *kasm.Program, grid, block int, global []
 
 	m.curBlock = 0
 	m.initBlock()
-	return m.runLoop(every, sink, nil)
+	return nil
 }
 
 // runLoop resumes execution of the current block and any remaining

@@ -64,6 +64,9 @@ func (m *Machine) phaseSched() {
 func (m *Machine) resolveWarp(w int) bool {
 	sch := m.Sched
 	m.markWarp(w)
+	if m.vec != nil && m.vec.hot == nil {
+		m.vec.onMaskRead(w)
+	}
 	for {
 		pc := uint32(sch.Get(m.sf.pc[w]))
 		rc := uint32(sch.Get(m.sf.reconv[w]))
@@ -72,9 +75,16 @@ func (m *Machine) resolveWarp(w int) bool {
 		}
 		depth := int(sch.Get(m.sf.depth[w]))
 		if depth == 0 || len(m.stacks[w]) == 0 {
+			if m.vec != nil {
+				m.vec.onMaskWrite(w, m.warpMask[w])
+			}
 			sch.Set(m.sf.state[w], stDone)
 			m.warpMask[w] = 0
 			return false
+		}
+		if m.vec != nil {
+			m.vec.onStackTouch(w)
+			m.vec.onMaskWrite(w, m.warpMask[w])
 		}
 		e := m.stacks[w][len(m.stacks[w])-1]
 		m.stacks[w] = m.stacks[w][:len(m.stacks[w])-1]
@@ -147,6 +157,9 @@ func (m *Machine) phaseCollect() {
 
 	// Predicate staging (guard evaluation uses bank A; per-lane selector
 	// predicates for SEL/IMNMX/FMNMX use bank B).
+	if m.vec != nil && m.vec.hot == nil {
+		m.vec.onPredRead(w)
+	}
 	for pr := 0; pr < 8; pr++ {
 		p.Set(pf.predA[pr], uint64(m.preds[w][pr]))
 		p.Set(pf.predB[pr], uint64(m.preds[w][pr]))
@@ -177,6 +190,13 @@ func (m *Machine) phaseCollect() {
 		srcB := isa.Reg(p.Get(pf.idSrcB)) % isa.NumRegs
 		srcC := isa.Reg(p.Get(pf.idSrcC)) % isa.NumRegs
 		useImm := p.Get(pf.idUseImm) == 1
+		if m.vec != nil && m.vec.hot == nil {
+			m.vec.onRegRead(w, int(srcA))
+			m.vec.onRegRead(w, int(srcC))
+			if !useImm {
+				m.vec.onRegRead(w, int(srcB))
+			}
+		}
 		for lane := 0; lane < WarpSize; lane++ {
 			b := imm
 			if !useImm {
@@ -271,6 +291,13 @@ func (m *Machine) phaseIssue() {
 	useImm := p.Get(pf.idUseImm) == 1
 	imm := uint32(p.Get(pf.colaImm))
 	slot := uint32(m.Sched.Get(m.sf.slot[w]))
+	if m.vec != nil && m.vec.hot == nil {
+		m.vec.onRegRead(w, int(srcA))
+		m.vec.onRegRead(w, int(srcC))
+		if op != isa.OpS2R && op != isa.OpMOV32I && !useImm {
+			m.vec.onRegRead(w, int(srcB))
+		}
+	}
 	for i := 0; i < NumLanes; i++ {
 		lane := 8*g + i
 		var b uint32
@@ -414,8 +441,14 @@ func (m *Machine) phaseMemAccess() {
 			return
 		}
 		if isStore {
+			if m.vec != nil {
+				m.vec.onMemWrite(code >= 2, int(addr), mem[addr])
+			}
 			mem[addr] = uint32(p.Get(pf.colbC[lane]))
 		} else {
+			if m.vec != nil && m.vec.hot == nil {
+				m.vec.onMemRead(code >= 2, int(addr))
+			}
 			p.Set(pf.wbRes[lane], uint64(mem[addr]))
 		}
 	}
@@ -451,6 +484,9 @@ func (m *Machine) phaseWriteback() {
 			if isPred {
 				m.setPred(w, pdst, lane, v&1 == 1)
 			} else if dst != isa.RZ {
+				if m.vec != nil {
+					m.vec.onRegWrite(w, int(dst), lane, m.regs[w][dst][lane])
+				}
 				m.regs[w][dst][lane] = v
 			}
 		}
@@ -462,6 +498,11 @@ func (m *Machine) setPred(w int, pd isa.Pred, lane int, v bool) {
 	idx := pd.Index()
 	if idx == isa.PT {
 		return
+	}
+	if m.vec != nil {
+		// A predicate write is a read-modify-write of the predicate word,
+		// so it both triggers parked lanes and logs the old word.
+		m.vec.onPredWrite(w, int(idx), m.preds[w][idx])
 	}
 	bit := uint32(1) << uint(lane)
 	if v != pd.Neg() {
@@ -480,6 +521,9 @@ func (m *Machine) phaseCommit() {
 	sch := m.Sched
 	w := int(sch.Get(m.sf.curwarp)) % MaxWarps
 	m.markWarp(w)
+	if m.vec != nil && m.vec.hot == nil {
+		m.vec.onMaskRead(w)
+	}
 	op := isa.Opcode(p.Get(pf.idOp))
 	pcNext := uint32(p.Get(pf.idPC)) + 1
 
@@ -506,6 +550,10 @@ func (m *Machine) phaseCommit() {
 			}
 			curMask := m.warpMask[w]
 			curReconv := uint32(sch.Get(m.sf.reconv[w]))
+			if m.vec != nil {
+				m.vec.onStackTouch(w)
+				m.vec.onMaskWrite(w, curMask)
+			}
 			m.stacks[w] = append(m.stacks[w],
 				simtEntry{pc: rc, mask: curMask, reconv: curReconv},
 				simtEntry{pc: pcNext, mask: ntaken, reconv: rc},
@@ -517,6 +565,10 @@ func (m *Machine) phaseCommit() {
 		}
 	case isa.OpEXIT:
 		guard := uint32(p.Get(pf.colaValid))
+		if m.vec != nil {
+			m.vec.onMaskWrite(w, m.warpMask[w])
+			m.vec.onStackTouch(w)
+		}
 		m.warpMask[w] &^= guard
 		for i := range m.stacks[w] {
 			m.stacks[w][i].mask &^= guard

@@ -59,10 +59,20 @@ type Spec struct {
 	// for regression tests and benchmarks.
 	NoCollapse bool
 
-	// Progress, when non-nil, is called after every simulated fault with
-	// the number of completed faults and the campaign total. It is called
-	// concurrently from worker goroutines and calls may arrive with
-	// non-monotonic done values; consumers should keep a running maximum.
+	// NoBitParallel disables bit-parallel fault simulation: the march
+	// engine that simulates up to 63 faulty variants of one input draw as
+	// divergence deltas against a single golden replay, materialising a
+	// variant onto its own machine only while it actually diverges.
+	// Results are bit-identical either way; the flag mirrors
+	// NoPrune/NoFastForward for regression tests and benchmarks.
+	NoBitParallel bool
+
+	// Progress, when non-nil, reports campaign progress as (completed
+	// faults, campaign total). Calls are throttled to roughly one per
+	// 1/1000th of the campaign; the final call always reports
+	// (total, total). It is called concurrently from worker goroutines
+	// and calls may arrive with non-monotonic done values; consumers
+	// should keep a running maximum.
 	Progress func(done, total int)
 }
 
@@ -113,6 +123,14 @@ type Result struct {
 	// already-simulated representative, their full replay cost lands in
 	// SkippedCycles. Always 0 under Spec.NoCollapse or Spec.NoPrune.
 	CollapsedFaults uint64
+
+	// VectorFaults counts injections simulated as lanes of a bit-parallel
+	// march rather than on a scalar machine of their own; Marches counts
+	// the marches (shared golden replays) that carried them. Their ratio
+	// against the 63-lane capacity is the campaign's lane occupancy.
+	// Always 0 under Spec.NoBitParallel.
+	VectorFaults uint64
+	Marches      uint64
 }
 
 // ReplaySpeedup returns the campaign's effective replay speedup:
@@ -127,6 +145,15 @@ func (r *Result) PruneRate() float64 { return pruneRate(r.PrunedFaults, r.Tally.
 // CollapseRate returns the share of injections tallied from an
 // equivalence-class memo instead of being simulated.
 func (r *Result) CollapseRate() float64 { return collapseRate(r.CollapsedFaults, r.Tally.Injections) }
+
+// VectorRate returns the share of injections simulated as bit-parallel
+// march lanes.
+func (r *Result) VectorRate() float64 { return vectorRate(r.VectorFaults, r.Tally.Injections) }
+
+// LaneOccupancy returns the mean fill of the campaign's marches: vector
+// faults over marched lane capacity (63 faulty lanes per march). 0 when
+// no march ran.
+func (r *Result) LaneOccupancy() float64 { return laneOccupancy(r.VectorFaults, r.Marches) }
 
 func replaySpeedup(sim, skipped uint64) float64 {
 	if sim == 0 {
@@ -150,6 +177,20 @@ func collapseRate(collapsed uint64, injections int) float64 {
 		return 0
 	}
 	return float64(collapsed) / float64(injections)
+}
+
+func vectorRate(vector uint64, injections int) float64 {
+	if injections == 0 {
+		return 0
+	}
+	return float64(vector) / float64(injections)
+}
+
+func laneOccupancy(vector, marches uint64) float64 {
+	if marches == 0 {
+		return 0
+	}
+	return float64(vector) / float64(marches*rtl.VecMaxLanes)
 }
 
 // inputDraw describes one prepared input draw.
@@ -278,7 +319,7 @@ func RunMicroCtx(ctx context.Context, spec Spec) (*Result, error) {
 	}
 	counters := make([]engineCounters, workers)
 	completed := runFaultLoop(ctx, workers, jobs, dp, prog, MicroThreads, 0,
-		collapse, counters, spec.Progress, campaignHooks{
+		collapse, !spec.NoBitParallel, counters, spec.Progress, campaignHooks{
 			masked: func(w int) { partials[w].Tally.Add(faults.Masked, 0) },
 			record: func(w int, machine *rtl.Machine, j faultJob, g []uint32, err error) {
 				classify(partials[w], spec.Op, j.fault, machine, g, draws[j.draw].golden, err)
@@ -301,6 +342,8 @@ func RunMicroCtx(ctx context.Context, spec Spec) (*Result, error) {
 		out.SkippedCycles += counters[w].SkippedCycles
 		out.PrunedFaults += counters[w].PrunedFaults
 		out.CollapsedFaults += counters[w].CollapsedFaults
+		out.VectorFaults += counters[w].VectorFaults
+		out.Marches += counters[w].Marches
 	}
 	return out, nil
 }

@@ -16,16 +16,17 @@ import (
 // families, and the cycle accounting must agree exactly — a collapsed
 // member's whole would-be replay (identical to its representative's, by
 // trajectory identity) moves wholesale into SkippedCycles.
+// NoBitParallel on both sides isolates the collapse path.
 func TestMicroCollapseBitIdentical(t *testing.T) {
 	specs := []Spec{
-		{Op: isa.OpFFMA, Range: faults.RangeMedium, Module: faults.ModFP32, NumFaults: 2000, Seed: 451},
-		{Op: isa.OpIMAD, Range: faults.RangeLarge, Module: faults.ModINT, NumFaults: 2000, Seed: 452},
-		{Op: isa.OpFSIN, Range: faults.RangeMedium, Module: faults.ModSFU, NumFaults: 2000, Seed: 453},
-		{Op: isa.OpFSIN, Range: faults.RangeMedium, Module: faults.ModPipe, NumFaults: 2000, Seed: 454},
+		{Op: isa.OpFFMA, Range: faults.RangeMedium, Module: faults.ModFP32, NumFaults: 2000, Seed: 451, NoBitParallel: true},
+		{Op: isa.OpIMAD, Range: faults.RangeLarge, Module: faults.ModINT, NumFaults: 2000, Seed: 452, NoBitParallel: true},
+		{Op: isa.OpFSIN, Range: faults.RangeMedium, Module: faults.ModSFU, NumFaults: 2000, Seed: 453, NoBitParallel: true},
+		{Op: isa.OpFSIN, Range: faults.RangeMedium, Module: faults.ModPipe, NumFaults: 2000, Seed: 454, NoBitParallel: true},
 		// A dense campaign: at this fault count classes collide often, so
 		// thousands of injections flow through the memo path rather than a
 		// handful.
-		{Op: isa.OpFSIN, Range: faults.RangeMedium, Module: faults.ModPipe, NumFaults: 100_000, Seed: 455},
+		{Op: isa.OpFSIN, Range: faults.RangeMedium, Module: faults.ModPipe, NumFaults: 100_000, Seed: 455, NoBitParallel: true},
 	}
 	var collapsedTotal uint64
 	for _, spec := range specs {
@@ -57,7 +58,7 @@ func TestMicroCollapseBitIdentical(t *testing.T) {
 // TestTMXMCollapseBitIdentical mirrors the regression for the t-MxM path.
 func TestTMXMCollapseBitIdentical(t *testing.T) {
 	for _, mod := range []faults.Module{faults.ModSched, faults.ModPipe} {
-		spec := TMXMSpec{Module: mod, Kind: 2 /* Random */, NumFaults: 200, Seed: 78}
+		spec := TMXMSpec{Module: mod, Kind: 2 /* Random */, NumFaults: 200, Seed: 78, NoBitParallel: true}
 		collapsed, err := RunTMXM(spec)
 		if err != nil {
 			t.Fatal(err)

@@ -38,13 +38,13 @@ func assertMicroEqual(t *testing.T, ff, full *Result) {
 
 // TestMicroFastForwardBitIdentical is the checkpoint optimisation's
 // anchor regression: checkpointed campaigns must be byte-identical to
-// full replay, per module family. NoPrune on both sides isolates the
-// fast-forward path; prune_test.go covers dead-site pruning and the
-// combined mode.
+// full replay, per module family. NoPrune and NoBitParallel on both
+// sides isolate the fast-forward path; prune_test.go covers dead-site
+// pruning and the combined modes, vec_test.go the bit-parallel engine.
 func TestMicroFastForwardBitIdentical(t *testing.T) {
 	specs := []Spec{
-		{Op: isa.OpFADD, Range: faults.RangeMedium, Module: faults.ModPipe, NumFaults: 400, Seed: 421, NoPrune: true},
-		{Op: isa.OpIMUL, Range: faults.RangeLarge, Module: faults.ModSched, NumFaults: 400, Seed: 422, NoPrune: true},
+		{Op: isa.OpFADD, Range: faults.RangeMedium, Module: faults.ModPipe, NumFaults: 400, Seed: 421, NoPrune: true, NoBitParallel: true},
+		{Op: isa.OpIMUL, Range: faults.RangeLarge, Module: faults.ModSched, NumFaults: 400, Seed: 422, NoPrune: true, NoBitParallel: true},
 	}
 	for _, spec := range specs {
 		ff, err := RunMicro(spec)
@@ -73,7 +73,7 @@ func TestMicroFastForwardBitIdentical(t *testing.T) {
 // TestTMXMFastForwardBitIdentical mirrors the regression for the t-MxM
 // campaign path.
 func TestTMXMFastForwardBitIdentical(t *testing.T) {
-	spec := TMXMSpec{Module: faults.ModPipe, Kind: 2 /* Random */, NumFaults: 200, Seed: 77, NoPrune: true}
+	spec := TMXMSpec{Module: faults.ModPipe, Kind: 2 /* Random */, NumFaults: 200, Seed: 77, NoPrune: true, NoBitParallel: true}
 	ff, err := RunTMXM(spec)
 	if err != nil {
 		t.Fatal(err)

@@ -15,12 +15,13 @@ import (
 // byte-identical to NoPrune runs across module families, and the cycle
 // accounting must agree exactly — a dead fault's whole would-be replay is
 // goldenCycles, which pruning moves wholesale into SkippedCycles.
+// NoBitParallel on both sides isolates the pruning path.
 func TestMicroPruneBitIdentical(t *testing.T) {
 	specs := []Spec{
-		{Op: isa.OpFFMA, Range: faults.RangeMedium, Module: faults.ModFP32, NumFaults: 400, Seed: 431},
-		{Op: isa.OpIMAD, Range: faults.RangeLarge, Module: faults.ModINT, NumFaults: 400, Seed: 432},
-		{Op: isa.OpFSIN, Range: faults.RangeMedium, Module: faults.ModSFU, NumFaults: 400, Seed: 433},
-		{Op: isa.OpFADD, Range: faults.RangeMedium, Module: faults.ModPipe, NumFaults: 400, Seed: 434},
+		{Op: isa.OpFFMA, Range: faults.RangeMedium, Module: faults.ModFP32, NumFaults: 400, Seed: 431, NoBitParallel: true},
+		{Op: isa.OpIMAD, Range: faults.RangeLarge, Module: faults.ModINT, NumFaults: 400, Seed: 432, NoBitParallel: true},
+		{Op: isa.OpFSIN, Range: faults.RangeMedium, Module: faults.ModSFU, NumFaults: 400, Seed: 433, NoBitParallel: true},
+		{Op: isa.OpFADD, Range: faults.RangeMedium, Module: faults.ModPipe, NumFaults: 400, Seed: 434, NoBitParallel: true},
 	}
 	for _, spec := range specs {
 		pruned, err := RunMicro(spec)
@@ -46,24 +47,26 @@ func TestMicroPruneBitIdentical(t *testing.T) {
 	}
 }
 
-// TestMicroPruneMatchesFullReplay ties the engine's four modes together
-// on one spec: every shortcut lattice point — Collapsed (the default:
-// collapsing + pruning + fast-forward), Pruned (collapsing off),
-// FastForward (pruning off too) — must reproduce the plain from-cycle-0
-// replay byte for byte, and account exactly its cycles: each mode's
-// sim + skipped equals the full replay's simulated total.
+// TestMicroPruneMatchesFullReplay ties the engine's five modes together
+// on one spec: every shortcut lattice point — BitParallel (the default:
+// marching + collapsing + pruning + fast-forward), Collapsed (marching
+// off), Pruned (collapsing off too), FastForward (pruning off too) —
+// must reproduce the plain from-cycle-0 replay byte for byte, and
+// account exactly its cycles: each mode's sim + skipped equals the full
+// replay's simulated total.
 func TestMicroPruneMatchesFullReplay(t *testing.T) {
 	spec := Spec{Op: isa.OpIADD, Range: faults.RangeMedium, Module: faults.ModINT, NumFaults: 300, Seed: 440}
 	modes := []struct {
 		name string
 		mut  func(*Spec)
 	}{
-		{"Collapsed", func(s *Spec) {}},
-		{"Pruned", func(s *Spec) { s.NoCollapse = true }},
-		{"FastForward", func(s *Spec) { s.NoCollapse, s.NoPrune = true, true }},
+		{"BitParallel", func(s *Spec) {}},
+		{"Collapsed", func(s *Spec) { s.NoBitParallel = true }},
+		{"Pruned", func(s *Spec) { s.NoBitParallel, s.NoCollapse = true, true }},
+		{"FastForward", func(s *Spec) { s.NoBitParallel, s.NoCollapse, s.NoPrune = true, true, true }},
 	}
 	fullSpec := spec
-	fullSpec.NoCollapse, fullSpec.NoPrune, fullSpec.NoFastForward = true, true, true
+	fullSpec.NoBitParallel, fullSpec.NoCollapse, fullSpec.NoPrune, fullSpec.NoFastForward = true, true, true, true
 	full, err := RunMicro(fullSpec)
 	if err != nil {
 		t.Fatal(err)
@@ -86,7 +89,7 @@ func TestMicroPruneMatchesFullReplay(t *testing.T) {
 // TestTMXMPruneBitIdentical mirrors the regression for the t-MxM path.
 func TestTMXMPruneBitIdentical(t *testing.T) {
 	for _, mod := range []faults.Module{faults.ModSched, faults.ModPipe} {
-		spec := TMXMSpec{Module: mod, Kind: 2 /* Random */, NumFaults: 200, Seed: 78}
+		spec := TMXMSpec{Module: mod, Kind: 2 /* Random */, NumFaults: 200, Seed: 78, NoBitParallel: true}
 		pruned, err := RunTMXM(spec)
 		if err != nil {
 			t.Fatal(err)

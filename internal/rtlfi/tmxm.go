@@ -35,8 +35,12 @@ type TMXMSpec struct {
 	// Spec.NoCollapse.
 	NoCollapse bool
 
-	// Progress, when non-nil, is called after every simulated fault; see
-	// Spec.Progress for the concurrency contract.
+	// NoBitParallel disables bit-parallel fault simulation; see
+	// Spec.NoBitParallel.
+	NoBitParallel bool
+
+	// Progress, when non-nil, reports campaign progress; see Spec.Progress
+	// for the throttling and concurrency contract.
 	Progress func(done, total int)
 }
 
@@ -50,12 +54,14 @@ type TMXMResult struct {
 	PatternErrs map[faults.Pattern][]float64
 	GoldenCycles uint64
 
-	// SimCycles / SkippedCycles / PrunedFaults / CollapsedFaults: see
-	// Result.
+	// SimCycles / SkippedCycles / PrunedFaults / CollapsedFaults /
+	// VectorFaults / Marches: see Result.
 	SimCycles       uint64
 	SkippedCycles   uint64
 	PrunedFaults    uint64
 	CollapsedFaults uint64
+	VectorFaults    uint64
+	Marches         uint64
 }
 
 // ReplaySpeedup returns the campaign's effective replay speedup; see
@@ -71,6 +77,14 @@ func (r *TMXMResult) PruneRate() float64 { return pruneRate(r.PrunedFaults, r.Ta
 func (r *TMXMResult) CollapseRate() float64 {
 	return collapseRate(r.CollapsedFaults, r.Tally.Injections)
 }
+
+// VectorRate returns the share of injections simulated as bit-parallel
+// march lanes.
+func (r *TMXMResult) VectorRate() float64 { return vectorRate(r.VectorFaults, r.Tally.Injections) }
+
+// LaneOccupancy returns the mean fill of the campaign's marches; see
+// Result.LaneOccupancy.
+func (r *TMXMResult) LaneOccupancy() float64 { return laneOccupancy(r.VectorFaults, r.Marches) }
 
 // PatternShare returns the share of multi-element SDCs classified as p,
 // over all multi-element SDCs (Table II normalises over multiple
@@ -144,7 +158,7 @@ func RunTMXMCtx(ctx context.Context, spec TMXMSpec) (*TMXMResult, error) {
 	}
 	counters := make([]engineCounters, workers)
 	completed := runFaultLoop(ctx, workers, jobs, dp, prog, mxm.BlockThreads, mxm.SharedWords,
-		collapse, counters, spec.Progress, campaignHooks{
+		collapse, !spec.NoBitParallel, counters, spec.Progress, campaignHooks{
 			masked: func(w int) { partials[w].Tally.Add(faults.Masked, 0) },
 			record: func(w int, _ *rtl.Machine, j faultJob, g []uint32, err error) {
 				res := partials[w]
@@ -189,6 +203,8 @@ func RunTMXMCtx(ctx context.Context, spec TMXMSpec) (*TMXMResult, error) {
 		out.SkippedCycles += counters[w].SkippedCycles
 		out.PrunedFaults += counters[w].PrunedFaults
 		out.CollapsedFaults += counters[w].CollapsedFaults
+		out.VectorFaults += counters[w].VectorFaults
+		out.Marches += counters[w].Marches
 	}
 	return out, nil
 }

@@ -2,6 +2,7 @@ package rtlfi
 
 import (
 	"context"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -95,6 +96,66 @@ func (ci *collapseIndex) at(i int) *classEntry {
 	return ci.byJob[i]
 }
 
+// classTable is a minimal open-addressing hash table from packed class
+// keys to first-job indices. The collapse index performs one lookup per
+// campaign fault, and on dense specs the generic map's hashing and
+// bucket logic is a visible slice of total wall-clock; linear probing
+// over flat slices roughly halves it. Empty slots are vals < 0.
+type classTable struct {
+	keys []uint64
+	vals []int32
+	mask uint64
+	n    int
+}
+
+func newClassTable() *classTable {
+	t := &classTable{keys: make([]uint64, 1<<13), vals: make([]int32, 1<<13), mask: 1<<13 - 1}
+	for i := range t.vals {
+		t.vals[i] = -1
+	}
+	return t
+}
+
+// lookupOrInsert returns the value stored under k, inserting v first when
+// k is absent (ok reports whether k was already present).
+func (t *classTable) lookupOrInsert(k uint64, v int32) (int32, bool) {
+	i := (k * 0x9e3779b97f4a7c15) & t.mask
+	for {
+		if t.vals[i] < 0 {
+			t.keys[i], t.vals[i] = k, v
+			t.n++
+			if uint64(t.n)*4 > (t.mask+1)*3 {
+				t.grow()
+			}
+			return v, false
+		}
+		if t.keys[i] == k {
+			return t.vals[i], true
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+func (t *classTable) grow() {
+	ok, ov := t.keys, t.vals
+	n := (t.mask + 1) * 2
+	t.keys, t.vals, t.mask = make([]uint64, n), make([]int32, n), n-1
+	for i := range t.vals {
+		t.vals[i] = -1
+	}
+	for i, v := range ov {
+		if v < 0 {
+			continue
+		}
+		k := ok[i]
+		j := (k * 0x9e3779b97f4a7c15) & t.mask
+		for t.vals[j] >= 0 {
+			j = (j + 1) & t.mask
+		}
+		t.keys[j], t.vals[j] = k, v
+	}
+}
+
 // buildCollapseIndex assigns every live fault its equivalence class,
 // sharded per draw. It runs sequentially before the workers start, and
 // pre-claims the representative as the class's first member in job
@@ -104,13 +165,14 @@ func (ci *collapseIndex) at(i int) *classEntry {
 // scheduling, preserving the engine's re-runs-are-bit-identical
 // guarantee. Worker striping and the RNG stream are untouched.
 func buildCollapseIndex(jobs []faultJob, draws []*inputDraw) *collapseIndex {
-	type key struct {
-		bit int
-		gap int
-	}
-	firsts := make([]map[key]int, len(draws)) // per-draw shard: class key -> first job index
+	// Class keys pack (bit, gap) into one uint64: both are non-negative
+	// and bounded well below 2^32 (bit by the module's flip-flop count,
+	// gap by the golden run's read-event count), and a flat integer key
+	// hashes measurably faster than a two-field struct on the dense
+	// campaigns this index is built for.
+	firsts := make([]*classTable, len(draws)) // per-draw shard: class key -> first job index
 	for i := range firsts {
-		firsts[i] = make(map[key]int)
+		firsts[i] = newClassTable()
 	}
 	ci := &collapseIndex{byJob: make([]*classEntry, len(jobs))}
 	for i, j := range jobs {
@@ -122,15 +184,14 @@ func buildCollapseIndex(jobs []faultJob, draws []*inputDraw) *collapseIndex {
 		if !ok {
 			continue // dead site: the prune check claims it before any class logic
 		}
-		k := key{bit: j.fault.Bit, gap: gap}
-		first, seen := firsts[j.draw][k]
+		k := uint64(j.fault.Bit)<<32 | uint64(uint32(gap))
+		first, seen := firsts[j.draw].lookupOrInsert(k, int32(i))
 		if !seen {
-			firsts[j.draw][k] = i
 			continue
 		}
-		e := ci.byJob[first]
+		e := ci.byJob[int(first)]
 		if e == nil {
-			e = &classEntry{rep: first, done: make(chan struct{})}
+			e = &classEntry{rep: int(first), done: make(chan struct{})}
 			ci.byJob[first] = e
 		}
 		ci.byJob[i] = e
@@ -177,6 +238,7 @@ func (d *inputDraw) runFault(machine *rtl.Machine, prog *kasm.Program, block, sh
 type engineCounters struct {
 	SimCycles, SkippedCycles      uint64
 	PrunedFaults, CollapsedFaults uint64
+	VectorFaults, Marches         uint64
 }
 
 // campaignHooks are the family-specific callbacks of runFaultLoop. Each
@@ -195,21 +257,155 @@ type campaignHooks struct {
 	record func(w int, machine *rtl.Machine, j faultJob, g []uint32, err error)
 }
 
+// marchStripe is one worker's bit-parallel first phase: it groups the
+// stripe's live, non-member faults by input draw, simulates each group in
+// lane chunks on a march engine (rtl.VecEngine), and returns the per-job
+// outcomes for the scalar-ordered recording phase. Engine accounting for
+// the marched faults happens here, where the outcomes are produced, and
+// representatives' collapse memos publish as soon as their march
+// completes — the phase never waits on anything, so the recording phase's
+// deadlock-freedom argument is untouched. A march that fails (it cannot,
+// absent engine bugs: prepared draws guarantee the golden run completes
+// past every injection cycle) falls back to scalar simulation of its
+// chunk, which is bit-identical by the engine's contract.
+func marchStripe(ctx context.Context, w, workers int, jobs []faultJob, draws []*inputDraw,
+	prog *kasm.Program, block, sharedWords int, collapse *collapseIndex,
+	ec *engineCounters, machine *rtl.Machine, dead []bool) map[int]simRun {
+
+	perDraw := make([][]int, len(draws))
+	for i := w; i < len(jobs); i += workers {
+		j := jobs[i]
+		if draws[j.draw].prunedDead(j.fault) {
+			// Memoised for the recording phase: the dead-site liveness
+			// query is a measurable per-fault cost on dense campaigns, and
+			// each worker owns its stripe's slots, so the shared slice
+			// needs no synchronisation.
+			dead[i] = true
+			continue
+		}
+		if e := collapse.at(i); e != nil && e.rep != i {
+			continue
+		}
+		perDraw[j.draw] = append(perDraw[j.draw], i)
+	}
+	// A march pays a fixed per-chunk cost — the instrumented golden
+	// replay over the chunk's whole cycle span, with every state read
+	// probing the divergence planes — that only a near-full lane group
+	// amortises: measured on the benchmarked specs, chunks of ~20–25
+	// lanes still lose ~2x wall-clock to scalar replay while full chunks
+	// win. Under-full chunks (only a draw's last chunk can be one) are
+	// therefore left out of the march and fall through to the scalar
+	// recording phase, which is bit-identical by the engine's contract.
+	const minMarchLanes = 48
+	outs := make(map[int]simRun)
+	eng := rtl.NewVecEngine()
+	defer eng.Close()
+	chunk := make([]rtl.Fault, 0, rtl.VecMaxLanes)
+	for di, idxs := range perDraw {
+		d := draws[di]
+		budget := d.goldenCycles*watchdogFactor + 1000
+		// One read schedule per draw: the draw's first march records the
+		// golden run's read/touch schedule, the rest consult it to judge
+		// park attempts and retire quiescent lanes (see rtl.MarchSched).
+		// Chunks are ordered by ascending fault cycle so that the
+		// recording march — which starts at the earliest checkpoint any
+		// chunk needs — observes every cycle later chunks will query.
+		sort.SliceStable(idxs, func(a, b int) bool {
+			return jobs[idxs[a]].fault.Cycle < jobs[idxs[b]].fault.Cycle
+		})
+		opts := rtl.MarchOpts{
+			Sched:        rtl.NewMarchSched(),
+			GoldenCycles: d.goldenCycles,
+			FinalGlobal:  d.golden,
+		}
+		for off := 0; off < len(idxs); off += rtl.VecMaxLanes {
+			if ctx.Err() != nil {
+				return outs
+			}
+			end := off + rtl.VecMaxLanes
+			if end > len(idxs) {
+				end = len(idxs)
+			}
+			group := idxs[off:end]
+			if len(group) < minMarchLanes {
+				continue // scalar recording phase picks these up
+			}
+			chunk = chunk[:0]
+			for _, gi := range group {
+				chunk = append(chunk, jobs[gi].fault)
+			}
+			// Each march fast-forwards its golden replay to the latest
+			// checkpoint at or before its earliest injection.
+			opts.Start = d.ckpts.before(chunk[0].Cycle)
+			vouts, err := eng.March(prog, block, d.global, sharedWords, chunk, budget, &opts)
+			if err == nil {
+				ec.Marches++
+			}
+			for k, gi := range group {
+				var sr simRun
+				if err != nil {
+					sr = d.runFault(machine, prog, block, sharedWords, jobs[gi].fault)
+				} else {
+					o := vouts[k]
+					sr = simRun{err: o.Err, sim: o.Sim, skipped: o.End - o.Sim}
+					if o.Err == nil {
+						if o.GoldenGlobal {
+							sr.g = d.golden
+						} else {
+							sr.g = o.Global
+						}
+					}
+					ec.VectorFaults++
+				}
+				ec.SimCycles += sr.sim
+				ec.SkippedCycles += sr.skipped
+				outs[gi] = sr
+				if e := collapse.at(gi); e != nil {
+					e.publish(sr)
+				}
+			}
+		}
+	}
+	return outs
+}
+
 // runFaultLoop drives the striped worker pool over the campaign's fault
 // list, performing the engine work shared by both campaign families —
-// dead-site prune check, fault-equivalence collapsing, checkpoint
-// fast-forward, cycle accounting, progress and cancellation — and
-// delegating outcome recording to hooks. It returns the number of
-// completed faults, which equals len(jobs) unless ctx was cancelled.
+// dead-site prune check, fault-equivalence collapsing, bit-parallel
+// marching, checkpoint fast-forward, cycle accounting, progress and
+// cancellation — and delegating outcome recording to hooks. It returns
+// the number of completed faults, which equals len(jobs) unless ctx was
+// cancelled.
+//
+// With vec set, each worker first marches its stripe's live non-member
+// faults bit-parallel (marchStripe) and then records every job in the
+// exact order and with the exact outcomes of the scalar loop, so results
+// stay bit-identical across the mode lattice.
 func runFaultLoop(ctx context.Context, workers int, jobs []faultJob, draws []*inputDraw,
-	prog *kasm.Program, block, sharedWords int, collapse *collapseIndex,
+	prog *kasm.Program, block, sharedWords int, collapse *collapseIndex, vec bool,
 	counters []engineCounters, progress func(done, total int), hooks campaignHooks) int {
 
+	// Progress is throttled to ~1/1000 of the campaign (and always fired
+	// for the final job): callbacks may cross goroutine or process
+	// boundaries, and per-fault delivery measurably perturbs dense
+	// campaigns.
+	total := len(jobs)
+	granule := total / 1000
+	if granule < 1 {
+		granule = 1
+	}
+	// In vec mode the march phase answers every job's dead-site query
+	// while grouping its stripe; the recording phase reuses the verdicts
+	// instead of re-running the liveness lookups.
+	var dead []bool
+	if vec {
+		dead = make([]bool, len(jobs))
+	}
 	var completed atomic.Int64
 	bump := func() {
 		done := int(completed.Add(1))
-		if progress != nil {
-			progress(done, len(jobs))
+		if progress != nil && (done == total || done%granule == 0) {
+			progress(done, total)
 		}
 	}
 	var wg sync.WaitGroup
@@ -219,13 +415,17 @@ func runFaultLoop(ctx context.Context, workers int, jobs []faultJob, draws []*in
 			defer wg.Done()
 			ec := &counters[w]
 			machine := rtl.New()
+			var outs map[int]simRun
+			if vec {
+				outs = marchStripe(ctx, w, workers, jobs, draws, prog, block, sharedWords, collapse, ec, machine, dead)
+			}
 			for i := w; i < len(jobs); i += workers {
 				if ctx.Err() != nil {
 					break
 				}
 				j := jobs[i]
 				d := draws[j.draw]
-				if d.prunedDead(j.fault) {
+				if vec && dead[i] || !vec && d.prunedDead(j.fault) {
 					// Provably dead site: Masked with zero simulation. Its
 					// whole would-be replay (exactly goldenCycles — a dead
 					// fault's run is the golden run) lands in SkippedCycles
@@ -261,11 +461,14 @@ func runFaultLoop(ctx context.Context, workers int, jobs []faultJob, draws []*in
 					bump()
 					continue
 				}
-				sr := d.runFault(machine, prog, block, sharedWords, j.fault)
-				ec.SimCycles += sr.sim
-				ec.SkippedCycles += sr.skipped
-				if e != nil {
-					e.publish(sr)
+				sr, marched := outs[i]
+				if !marched {
+					sr = d.runFault(machine, prog, block, sharedWords, j.fault)
+					ec.SimCycles += sr.sim
+					ec.SkippedCycles += sr.skipped
+					if e != nil {
+						e.publish(sr)
+					}
 				}
 				hooks.record(w, machine, j, sr.g, sr.err)
 				bump()
