@@ -492,28 +492,46 @@ func BenchmarkRTLFI_TMxMCampaign(b *testing.B) {
 	}
 }
 
+// swfiBenchModes are the four engine configurations the software-campaign
+// benchmarks compare, mirroring rtlfiBenchModes: FullReplay is the plain
+// path (every injection run re-simulates from dynamic instruction zero
+// with hooks armed throughout), FastForward adds golden-prefix checkpoint
+// restore and reconvergence, Pruned additionally classifies faults on
+// provably-dead sites from the golden-run liveness index without
+// simulating them, and Collapsed (the engine default) further tallies
+// fault-equivalence class members from their representative's memo.
+// Results are bit-identical across all four
+// (internal/swfi/fastforward_test.go, prunecollapse_test.go).
+var swfiBenchModes = []struct {
+	name       string
+	noFF       bool
+	noPrune    bool
+	noCollapse bool
+}{
+	{"Collapsed", false, false, false},
+	{"Pruned", false, false, true},
+	{"FastForward", false, true, true},
+	{"FullReplay", true, true, true},
+}
+
 // BenchmarkSWFI_HPCCampaign measures the wall-clock of one software
-// injection campaign with and without the golden-prefix checkpoint
-// fast-forward. The FullReplay sub-benchmark is the pre-change path (every
-// injection run re-simulates from dynamic instruction zero with hooks
-// armed throughout); results are bit-identical between the two
-// (internal/swfi/fastforward_test.go).
+// injection campaign under the four engine modes.
 func BenchmarkSWFI_HPCCampaign(b *testing.B) {
-	for _, mode := range []struct {
-		name string
-		noFF bool
-	}{{"FastForward", false}, {"FullReplay", true}} {
+	for _, mode := range swfiBenchModes {
 		b.Run(mode.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				res, err := RunCampaign(Campaign{
 					Workload: apps.NewHotspot(16, 8), Model: ModelBitFlip,
 					Injections: 200, Seed: 97, NoFastForward: mode.noFF,
+					NoPrune: mode.noPrune, NoCollapse: mode.noCollapse,
 				})
 				if err != nil {
 					b.Fatal(err)
 				}
 				if i == 0 {
 					b.ReportMetric(replaySpeedup(res.SimInstrs, res.SkippedInstrs), "ff-speedup")
+					b.ReportMetric(res.PruneRate(), "prune-rate")
+					b.ReportMetric(res.CollapseRate(), "collapse-rate")
 				}
 			}
 		})
@@ -523,22 +541,22 @@ func BenchmarkSWFI_HPCCampaign(b *testing.B) {
 // BenchmarkSWFI_CNNCampaign is the CNN counterpart (instruction-level
 // bit-flip model on LeNetLite).
 func BenchmarkSWFI_CNNCampaign(b *testing.B) {
-	for _, mode := range []struct {
-		name string
-		noFF bool
-	}{{"FastForward", false}, {"FullReplay", true}} {
+	for _, mode := range swfiBenchModes {
 		b.Run(mode.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				res, err := RunCNNCampaign(CNNCampaign{
 					Net: cnn.NewLeNetLite(), Input: cnn.LeNetInput(0),
 					Model: swfi.CNNBitFlip, Injections: 200, Seed: 96,
 					Critical: swfi.LeNetCritical, NoFastForward: mode.noFF,
+					NoPrune: mode.noPrune, NoCollapse: mode.noCollapse,
 				})
 				if err != nil {
 					b.Fatal(err)
 				}
 				if i == 0 {
 					b.ReportMetric(replaySpeedup(res.SimInstrs, res.SkippedInstrs), "ff-speedup")
+					b.ReportMetric(res.PruneRate(), "prune-rate")
+					b.ReportMetric(res.CollapseRate(), "collapse-rate")
 				}
 			}
 		})

@@ -83,6 +83,19 @@ func main() {
 			e.Name, e.BitFlip.PVF(), e.Syndrome.PVF(), 100*e.Underestimation())
 	}
 
+	fmt.Println("\n== Campaign engine accounting (pruned/collapsed faults, replay speedup) ==")
+	for _, e := range evals {
+		printEngineRow(e.Name,
+			e.BitFlip.PrunedFaults+e.Syndrome.PrunedFaults,
+			e.BitFlip.CollapsedFaults+e.Syndrome.CollapsedFaults,
+			e.BitFlip.Tally.Injections+e.Syndrome.Tally.Injections,
+			e.BitFlip.SimInstrs+e.Syndrome.SimInstrs,
+			e.BitFlip.SkippedInstrs+e.Syndrome.SkippedInstrs)
+		if reason := e.BitFlip.NoReconvergeReason; reason != "" {
+			fmt.Printf("             note: %s\n", reason)
+		}
+	}
+
 	log.Print("CNN campaigns...")
 	lenet, err := gpufi.EvaluateCNN(char.DB, "LeNetLite", cnn.NewLeNetLite(),
 		cnn.LeNetInput(0), swfi.LeNetCritical, gpufi.EvalConfig{Injections: *cnnInj, Seed: *seed + 2})
@@ -99,6 +112,12 @@ func main() {
 		fmt.Printf("  %-10s PVF flip/syn/tile = %.3f/%.3f/%.3f  critical share %.0f%%/%.0f%%/%.0f%%\n",
 			c.Name, c.BitFlip.PVF(), c.Syndrome.PVF(), c.Tile.PVF(),
 			100*c.BitFlip.CriticalShare(), 100*c.Syndrome.CriticalShare(), 100*c.Tile.CriticalShare())
+		printEngineRow(c.Name,
+			c.BitFlip.PrunedFaults+c.Syndrome.PrunedFaults+c.Tile.PrunedFaults,
+			c.BitFlip.CollapsedFaults+c.Syndrome.CollapsedFaults+c.Tile.CollapsedFaults,
+			c.BitFlip.Tally.Injections+c.Syndrome.Tally.Injections+c.Tile.Tally.Injections,
+			c.BitFlip.SimInstrs+c.Syndrome.SimInstrs+c.Tile.SimInstrs,
+			c.BitFlip.SkippedInstrs+c.Syndrome.SkippedInstrs+c.Tile.SkippedInstrs)
 	}
 
 	cm, err := gpufi.MeasureCost(apps.NewMxM(64))
@@ -107,4 +126,21 @@ func main() {
 	}
 	fmt.Println("\n== §VI: time savings ==")
 	fmt.Printf("  %s\n", cm.Compare(48000))
+}
+
+// printEngineRow renders one campaign-engine accounting row: the share of
+// injections resolved by dead-site pruning and equivalence collapsing,
+// and the effective replay speedup of the rest.
+func printEngineRow(name string, pruned, collapsed uint64, injections int, sim, skipped uint64) {
+	speedup := float64(0)
+	if sim > 0 {
+		speedup = float64(sim+skipped) / float64(sim)
+	}
+	var pruneRate, collapseRate float64
+	if injections > 0 {
+		pruneRate = float64(pruned) / float64(injections)
+		collapseRate = float64(collapsed) / float64(injections)
+	}
+	fmt.Printf("  %-10s pruned=%d (%.1f%%) collapsed=%d (%.1f%%) replay speedup %.2fx\n",
+		name, pruned, 100*pruneRate, collapsed, 100*collapseRate, speedup)
 }

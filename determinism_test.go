@@ -7,6 +7,7 @@ import (
 	"gpufi/internal/apps"
 	"gpufi/internal/cnn"
 	"gpufi/internal/emu"
+	"gpufi/internal/faults"
 	"gpufi/internal/isa"
 	"gpufi/internal/replay"
 	"gpufi/internal/swfi"
@@ -140,6 +141,100 @@ func TestExecutionModesAgree(t *testing.T) {
 			assertWordsEqual(t, "countdown", want, out)
 			if !fired {
 				t.Fatal("countdown player never reached its target instruction")
+			}
+		})
+	}
+}
+
+// TestCampaignModeLatticeDeterministic is the campaign-level determinism
+// property over all 8 paper workloads: the default engine (dead-site
+// pruning + equivalence collapsing + fast-forward) yields byte-identical
+// tallies and injection records across worker counts, with each
+// accelerator disabled, and against the plain full-replay path.
+func TestCampaignModeLatticeDeterministic(t *testing.T) {
+	type arm struct {
+		name                      string
+		workers                   int
+		noPrune, noCollapse, noFF bool
+	}
+	arms := []arm{
+		{"default/w1", 1, false, false, false},
+		{"default/w4", 4, false, false, false},
+		{"no-prune", 4, true, false, false},
+		{"no-collapse", 4, false, true, false},
+		{"full-replay", 4, true, true, true},
+	}
+	type outcome struct {
+		tally             faults.Tally
+		records           []swfi.InjectionRecord
+		crit              int
+		pruned, collapsed uint64
+	}
+
+	hpcCase := func(w *apps.Workload, n int) func(t *testing.T, a arm) outcome {
+		return func(t *testing.T, a arm) outcome {
+			res, err := RunCampaign(Campaign{
+				Workload: w, Model: ModelBitFlip, Injections: n, Seed: 53,
+				Workers: a.workers, RecordInjections: true,
+				NoPrune: a.noPrune, NoCollapse: a.noCollapse, NoFastForward: a.noFF,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return outcome{res.Tally, res.Records, 0, res.PrunedFaults, res.CollapsedFaults}
+		}
+	}
+	cnnCase := func(net *cnn.Network, input []float32, critical func(a, b []float32) bool, n int) func(t *testing.T, a arm) outcome {
+		return func(t *testing.T, a arm) outcome {
+			res, err := RunCNNCampaign(CNNCampaign{
+				Net: net, Input: input, Model: swfi.CNNBitFlip,
+				Injections: n, Seed: 53, Workers: a.workers, Critical: critical,
+				NoPrune: a.noPrune, NoCollapse: a.noCollapse, NoFastForward: a.noFF,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return outcome{res.Tally, nil, res.CriticalSDC, res.PrunedFaults, res.CollapsedFaults}
+		}
+	}
+
+	cases := []struct {
+		name string
+		run  func(t *testing.T, a arm) outcome
+	}{
+		{"MxM", hpcCase(apps.NewMxM(16), 60)},
+		{"LavaMD", hpcCase(apps.NewLava(2, 32), 60)},
+		{"Quicksort", hpcCase(apps.NewQuicksort(128), 60)},
+		{"Hotspot", hpcCase(apps.NewHotspot(16, 4), 60)},
+		{"LUD", hpcCase(apps.NewLUD(16), 60)},
+		{"Gaussian", hpcCase(apps.NewGaussian(16), 60)},
+		{"LeNetLite", cnnCase(cnn.NewLeNetLite(), cnn.LeNetInput(0), swfi.LeNetCritical, 30)},
+		{"YoloLite", cnnCase(cnn.NewYoloLite(), cnn.YoloInput(0), swfi.YoloCritical, 12)},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			base := tc.run(t, arms[0])
+			for _, a := range arms[1:] {
+				got := tc.run(t, a)
+				if got.tally != base.tally {
+					t.Errorf("%s: tally %+v, baseline %+v", a.name, got.tally, base.tally)
+				}
+				if got.crit != base.crit {
+					t.Errorf("%s: critical SDCs %d, baseline %d", a.name, got.crit, base.crit)
+				}
+				for i := range base.records {
+					if got.records[i] != base.records[i] {
+						t.Fatalf("%s: record %d = %+v, baseline %+v", a.name, i, got.records[i], base.records[i])
+					}
+				}
+				// Accelerator accounting is schedule-deterministic: worker
+				// count must not change what is pruned or collapsed.
+				if a.name == "default/w4" && (got.pruned != base.pruned || got.collapsed != base.collapsed) {
+					t.Errorf("%s: pruned/collapsed %d/%d, baseline %d/%d",
+						a.name, got.pruned, got.collapsed, base.pruned, base.collapsed)
+				}
 			}
 		})
 	}

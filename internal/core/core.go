@@ -460,6 +460,13 @@ type EvalConfig struct {
 	Seed       uint64
 	Workers    int
 
+	// NoPrune / NoCollapse disable the software campaign accelerator
+	// layers (dead-site liveness pruning, fault-equivalence collapsing)
+	// for every campaign of the evaluation; see swfi.Campaign. Results
+	// are bit-identical either way.
+	NoPrune    bool
+	NoCollapse bool
+
 	// Progress, when non-nil, receives injection-level progress
 	// aggregated over all campaigns of the evaluation. It may be called
 	// concurrently and done values may arrive out of order; keep a
@@ -519,6 +526,7 @@ func EvaluateHPCCtx(ctx context.Context, db *syndrome.DB, workloads []*apps.Work
 		flip, err := swfi.RunCtx(ctx, swfi.Campaign{
 			Workload: w, Model: swfi.ModelBitFlip, Prepared: prep,
 			Injections: cfg.Injections, Seed: cfg.Seed + uint64(i)*2, Workers: cfg.Workers,
+			NoPrune: cfg.NoPrune, NoCollapse: cfg.NoCollapse,
 			Progress: progress(),
 		})
 		if err != nil {
@@ -528,6 +536,7 @@ func EvaluateHPCCtx(ctx context.Context, db *syndrome.DB, workloads []*apps.Work
 		syn, err := swfi.RunCtx(ctx, swfi.Campaign{
 			Workload: w, Model: swfi.ModelSyndrome, DB: db, Prepared: prep,
 			Injections: cfg.Injections, Seed: cfg.Seed + uint64(i)*2 + 1, Workers: cfg.Workers,
+			NoPrune: cfg.NoPrune, NoCollapse: cfg.NoCollapse,
 			Progress: progress(),
 		})
 		if err != nil {
@@ -580,6 +589,7 @@ func EvaluateCNNCtx(ctx context.Context, db *syndrome.DB, name string, net *cnn.
 		res, err := swfi.RunCNNCtx(ctx, swfi.CNNCampaign{
 			Net: net, Input: input, Model: model, DB: db, Prepared: prep,
 			Injections: cfg.Injections, Seed: seed, Workers: cfg.Workers,
+			NoPrune: cfg.NoPrune, NoCollapse: cfg.NoCollapse,
 			Critical: critical, Progress: progress,
 		})
 		if err == nil {

@@ -54,12 +54,17 @@ type Request struct {
 	Kind Kind   `json:"kind"`
 	Seed uint64 `json:"seed"`
 
+	// All job kinds: accelerator escape hatches. NoPrune disables
+	// dead-site pruning (RTL and software), NoCollapse disables
+	// fault-equivalence collapsing (RTL and software); results are
+	// bit-identical either way.
+	NoPrune    bool `json:"no_prune,omitempty"`
+	NoCollapse bool `json:"no_collapse,omitempty"`
+
 	// Characterize jobs.
 	Faults        int      `json:"faults,omitempty"`      // per micro campaign; default 2000
 	TMXMFaults    int      `json:"tmxm_faults,omitempty"` // per t-MxM campaign; default Faults
 	SkipTMXM      bool     `json:"skip_tmxm,omitempty"`
-	NoPrune       bool     `json:"no_prune,omitempty"`        // disable dead-site pruning (bit-identical results)
-	NoCollapse    bool     `json:"no_collapse,omitempty"`     // disable fault-equivalence collapsing (bit-identical results)
 	NoBitParallel bool     `json:"no_bit_parallel,omitempty"` // disable bit-parallel marching (bit-identical results)
 	Ops           []string `json:"ops,omitempty"`             // opcode subset; default all 12
 	Ranges        []string `json:"ranges,omitempty"`          // input-range subset; default S, M, L
@@ -98,8 +103,10 @@ type HPCUnitResult struct {
 	PVF           float64      `json:"pvf"`
 	CILo          float64      `json:"ci_lo"`
 	CIHi          float64      `json:"ci_hi"`
-	SimInstrs     uint64       `json:"sim_instrs"`
-	SkippedInstrs uint64       `json:"skipped_instrs"`
+	SimInstrs       uint64 `json:"sim_instrs"`
+	SkippedInstrs   uint64 `json:"skipped_instrs"`
+	PrunedFaults    uint64 `json:"pruned_faults"`
+	CollapsedFaults uint64 `json:"collapsed_faults"`
 }
 
 // CNNUnitResult is one completed (network, fault model) campaign. The
@@ -112,8 +119,11 @@ type CNNUnitResult struct {
 	PVF           float64      `json:"pvf"`
 	CriticalSDC   int          `json:"critical_sdc"`
 	CriticalShare float64      `json:"critical_share"`
-	SimInstrs     uint64       `json:"sim_instrs"`
-	SkippedInstrs uint64       `json:"skipped_instrs"`
+
+	SimInstrs       uint64 `json:"sim_instrs"`
+	SkippedInstrs   uint64 `json:"skipped_instrs"`
+	PrunedFaults    uint64 `json:"pruned_faults"`
+	CollapsedFaults uint64 `json:"collapsed_faults"`
 }
 
 // Result is a finished job's deliverable: the per-unit results in plan
@@ -299,6 +309,7 @@ func compileHPC(req Request) (*program, error) {
 					res, err := swfi.RunCtx(ctx, swfi.Campaign{
 						Workload: w, Model: model, DB: env.db,
 						Injections: injections, Seed: seed, Workers: env.workers,
+						NoPrune: req.NoPrune, NoCollapse: req.NoCollapse,
 						Progress: progress,
 					})
 					if err != nil {
@@ -308,8 +319,10 @@ func compileHPC(req Request) (*program, error) {
 					return json.Marshal(HPCUnitResult{
 						App: spec.Name, Model: mname, Seed: seed,
 						Tally: res.Tally, PVF: res.PVF(), CILo: lo, CIHi: hi,
-						SimInstrs:     res.SimInstrs,
-						SkippedInstrs: res.SkippedInstrs,
+						SimInstrs:       res.SimInstrs,
+						SkippedInstrs:   res.SkippedInstrs,
+						PrunedFaults:    res.PrunedFaults,
+						CollapsedFaults: res.CollapsedFaults,
 					})
 				},
 			})
@@ -353,6 +366,7 @@ func compileCNN(req Request) (*program, error) {
 				res, err := swfi.RunCNNCtx(ctx, swfi.CNNCampaign{
 					Net: net, Input: input, Model: model, DB: env.db,
 					Injections: injections, Seed: seed, Workers: env.workers,
+					NoPrune: req.NoPrune, NoCollapse: req.NoCollapse,
 					Critical: critical, Progress: progress,
 				})
 				if err != nil {
@@ -362,8 +376,10 @@ func compileCNN(req Request) (*program, error) {
 					Network: network, Model: mname, Seed: seed,
 					Tally: res.Tally, PVF: res.PVF(),
 					CriticalSDC: res.CriticalSDC, CriticalShare: res.CriticalShare(),
-					SimInstrs:     res.SimInstrs,
-					SkippedInstrs: res.SkippedInstrs,
+					SimInstrs:       res.SimInstrs,
+					SkippedInstrs:   res.SkippedInstrs,
+					PrunedFaults:    res.PrunedFaults,
+					CollapsedFaults: res.CollapsedFaults,
 				})
 			},
 		})

@@ -161,10 +161,14 @@ type RTLTelemetry struct {
 // fast-forward, and the derived fast-forward speedup. It mirrors the rtl
 // block, including restart survival via the journalled unit results.
 type SWTelemetry struct {
-	Injections    int     `json:"injections"`
-	SimInstrs     uint64  `json:"sim_instrs"`
-	SkippedInstrs uint64  `json:"skipped_instrs"`
-	FFSpeedup     float64 `json:"ff_speedup,omitempty"`
+	Injections      int     `json:"injections"`
+	SimInstrs       uint64  `json:"sim_instrs"`
+	SkippedInstrs   uint64  `json:"skipped_instrs"`
+	PrunedFaults    uint64  `json:"pruned_faults"`
+	CollapsedFaults uint64  `json:"collapsed_faults"`
+	FFSpeedup       float64 `json:"ff_speedup,omitempty"`
+	PruneRate       float64 `json:"prune_rate"`
+	CollapseRate    float64 `json:"collapse_rate"`
 }
 
 // Status snapshots the job.
@@ -233,9 +237,11 @@ func (j *Job) swTelemetry() *SWTelemetry {
 	agg := &SWTelemetry{}
 	for _, raw := range j.completed {
 		var u struct {
-			Tally         faults.Tally `json:"tally"`
-			SimInstrs     uint64       `json:"sim_instrs"`
-			SkippedInstrs uint64       `json:"skipped_instrs"`
+			Tally           faults.Tally `json:"tally"`
+			SimInstrs       uint64       `json:"sim_instrs"`
+			SkippedInstrs   uint64       `json:"skipped_instrs"`
+			PrunedFaults    uint64       `json:"pruned_faults"`
+			CollapsedFaults uint64       `json:"collapsed_faults"`
 		}
 		if json.Unmarshal(raw, &u) != nil {
 			continue
@@ -243,11 +249,17 @@ func (j *Job) swTelemetry() *SWTelemetry {
 		agg.Injections += u.Tally.Injections
 		agg.SimInstrs += u.SimInstrs
 		agg.SkippedInstrs += u.SkippedInstrs
+		agg.PrunedFaults += u.PrunedFaults
+		agg.CollapsedFaults += u.CollapsedFaults
 	}
 	// Mirror the rtl block's corner case: an all-skipped aggregate has an
 	// infinite speedup, which JSON cannot carry; the field is omitted (0).
 	if agg.SimInstrs > 0 {
 		agg.FFSpeedup = float64(agg.SimInstrs+agg.SkippedInstrs) / float64(agg.SimInstrs)
+	}
+	if agg.Injections > 0 {
+		agg.PruneRate = float64(agg.PrunedFaults) / float64(agg.Injections)
+		agg.CollapseRate = float64(agg.CollapsedFaults) / float64(agg.Injections)
 	}
 	return agg
 }

@@ -60,8 +60,18 @@ type CNNCampaign struct {
 	// NoFastForward disables the golden-prefix checkpoint optimisation and
 	// re-executes every injection run from the first layer with hooks
 	// armed throughout. Results are bit-identical either way; see
-	// Campaign.NoFastForward.
+	// Campaign.NoFastForward. It implies NoPrune and NoCollapse.
 	NoFastForward bool
+
+	// NoPrune disables dead-site liveness pruning for the instruction
+	// models; see Campaign.NoPrune. The tile model never prunes — it
+	// corrupts feature-map regions at layer boundaries, not instruction
+	// outputs.
+	NoPrune bool
+
+	// NoCollapse disables fault-equivalence collapsing for CNNBitFlip;
+	// see Campaign.NoCollapse.
+	NoCollapse bool
 
 	// Prepared, when non-nil, supplies a ready-made golden run, profile
 	// and checkpoint trace for Net/Input (from PrepareCNN), letting the
@@ -86,6 +96,29 @@ type CNNResult struct {
 	// see Result. Both are zero on the NoFastForward path.
 	SimInstrs     uint64
 	SkippedInstrs uint64
+
+	// PrunedFaults / CollapsedFaults count injections resolved by the
+	// dead-site index and by equivalence collapsing; see Result.
+	PrunedFaults    uint64
+	CollapsedFaults uint64
+}
+
+// PruneRate is the fraction of injections the dead-site index classified
+// without simulation.
+func (r *CNNResult) PruneRate() float64 {
+	if r.Tally.Injections == 0 {
+		return 0
+	}
+	return float64(r.PrunedFaults) / float64(r.Tally.Injections)
+}
+
+// CollapseRate is the fraction of injections resolved by equivalence
+// collapsing.
+func (r *CNNResult) CollapseRate() float64 {
+	if r.Tally.Injections == 0 {
+		return 0
+	}
+	return float64(r.CollapsedFaults) / float64(r.Tally.Injections)
 }
 
 // PVF is the SDC program vulnerability factor.
@@ -160,61 +193,118 @@ func RunCNNCtx(ctx context.Context, c CNNCampaign) (*CNNResult, error) {
 			pools[i] = &replay.Pool{}
 		}
 	}
-	var simInstrs, skippedInstrs atomic.Uint64
+	// Liveness pruning and equivalence collapsing apply to the
+	// instruction-level models only: the tile model corrupts feature-map
+	// regions at layer boundaries, outside the dead-site index's scope.
+	var live *replay.Liveness
+	if tr != nil && !c.NoPrune && c.Model != CNNTile {
+		live = tr.Live
+	}
+	var classOf []*collapseClass
+	if tr != nil && !c.NoCollapse && c.Model == CNNBitFlip {
+		classOf = scheduleCollapse(c.Injections, injectable, live, false,
+			func(i int) *stats.RNG {
+				return stats.NewRNG(c.Seed ^ 0xD1B54A32D192ED03*uint64(i+1))
+			})
+	}
+	var simInstrs, skippedInstrs, prunedFaults, collapsedFaults atomic.Uint64
+	// runOne simulates (or prunes) one injection; sim/skipped are its own
+	// counts, for member accounting.
+	runOne := func(i int, r *stats.RNG) (faults.Outcome, bool, uint64, uint64) {
+		var out []float32
+		var err error
+		var sim, skipped uint64
+		switch c.Model {
+		case CNNTile:
+			inj, ok := c.Net.RandomTileInjection(c.DB, r)
+			if !ok {
+				return faults.Masked, false, 0, 0 // no characterisation: nothing injected
+			}
+			if tr != nil {
+				// The tile is applied by host code after layer
+				// inj.Layer, so every launch up to and including it
+				// replays from the recorded write-sets.
+				p := replay.NewPlayerSkipTo(tr, inj.Layer, pools[i%workers])
+				out, err = c.Net.RunWith(p, c.Input, inj)
+				sim, skipped = p.Live.DynThreadInstrs, p.Skipped
+				simInstrs.Add(sim)
+				skippedInstrs.Add(skipped)
+			} else {
+				out, err = c.Net.Run(c.Input, emu.Hooks{}, inj)
+			}
+		default:
+			model := ModelBitFlip
+			if c.Model == CNNSyndrome {
+				model = ModelSyndrome
+			}
+			in := &injector{
+				target: r.Uint64() % injectable,
+				model:  model,
+				db:     c.DB,
+				rng:    r,
+			}
+			if live != nil {
+				if _, dead := live.Dead(in.target); dead {
+					// Dead output site: bit-identical final output, no
+					// possible trap or hang. Masked with zero emulator
+					// instructions; see Campaign's prune path.
+					prunedFaults.Add(1)
+					skippedInstrs.Add(tr.Instrs)
+					return faults.Masked, false, 0, tr.Instrs
+				}
+			}
+			if tr != nil {
+				p := replay.NewPlayer(tr, in.target, emu.Hooks{Post: in.post},
+					func(countDone uint64) { in.counter = countDone },
+					func() bool { return in.fired },
+					pools[i%workers])
+				out, err = c.Net.RunWith(p, c.Input, nil)
+				sim, skipped = p.Live.DynThreadInstrs, p.Skipped
+				simInstrs.Add(sim)
+				skippedInstrs.Add(skipped)
+			} else {
+				out, err = c.Net.Run(c.Input, emu.Hooks{Post: in.post}, nil)
+			}
+		}
+		switch {
+		case err != nil:
+			return faults.DUE, false, sim, skipped
+		case !floatsEqual(golden, out):
+			critical := c.Critical != nil && c.Critical(golden, out)
+			return faults.SDC, critical, sim, skipped
+		default:
+			return faults.Masked, false, sim, skipped
+		}
+	}
 	var crit, completed int
 	res.Tally, crit, completed = parallelInjectionsWithSide(ctx, c.Injections, workers, c.Seed, c.Progress,
 		func(i int, r *stats.RNG) (faults.Outcome, bool) {
-			var out []float32
-			var err error
-			switch c.Model {
-			case CNNTile:
-				inj, ok := c.Net.RandomTileInjection(c.DB, r)
-				if !ok {
-					return faults.Masked, false // no characterisation: nothing injected
-				}
-				if tr != nil {
-					// The tile is applied by host code after layer
-					// inj.Layer, so every launch up to and including it
-					// replays from the recorded write-sets.
-					p := replay.NewPlayerSkipTo(tr, inj.Layer, pools[i%workers])
-					out, err = c.Net.RunWith(p, c.Input, inj)
-					simInstrs.Add(p.Live.DynThreadInstrs)
-					skippedInstrs.Add(p.Skipped)
-				} else {
-					out, err = c.Net.Run(c.Input, emu.Hooks{}, inj)
-				}
-			default:
-				model := ModelBitFlip
-				if c.Model == CNNSyndrome {
-					model = ModelSyndrome
-				}
-				in := &injector{
-					target: r.Uint64() % injectable,
-					model:  model,
-					db:     c.DB,
-					rng:    r,
-				}
-				if tr != nil {
-					p := replay.NewPlayer(tr, in.target, emu.Hooks{Post: in.post},
-						func(countDone uint64) { in.counter = countDone },
-						func() bool { return in.fired },
-						pools[i%workers])
-					out, err = c.Net.RunWith(p, c.Input, nil)
-					simInstrs.Add(p.Live.DynThreadInstrs)
-					skippedInstrs.Add(p.Skipped)
-				} else {
-					out, err = c.Net.Run(c.Input, emu.Hooks{Post: in.post}, nil)
-				}
+			var cl *collapseClass
+			if classOf != nil {
+				cl = classOf[i]
 			}
-			switch {
-			case err != nil:
-				return faults.DUE, false
-			case !floatsEqual(golden, out):
-				critical := c.Critical != nil && c.Critical(golden, out)
-				return faults.SDC, critical
-			default:
-				return faults.Masked, false
+			if cl != nil && cl.rep != i {
+				// Equivalence-class member; see Campaign's collapse path
+				// (including why a published result beats cancellation).
+				select {
+				case <-cl.done:
+				default:
+					select {
+					case <-cl.done:
+					case <-ctx.Done():
+						return faults.Masked, false // discarded: the campaign returns ctx.Err()
+					}
+				}
+				collapsedFaults.Add(1)
+				skippedInstrs.Add(cl.sim + cl.skipped)
+				return cl.outcome, cl.critical
 			}
+			outcome, critical, sim, skipped := runOne(i, r)
+			if cl != nil {
+				cl.outcome, cl.critical, cl.sim, cl.skipped = outcome, critical, sim, skipped
+				close(cl.done)
+			}
+			return outcome, critical
 		})
 	// Cancellation that lands after the last injection finished does not
 	// void the campaign: every run completed, so return the result.
@@ -224,15 +314,22 @@ func RunCNNCtx(ctx context.Context, c CNNCampaign) (*CNNResult, error) {
 	res.CriticalSDC = crit
 	res.SimInstrs = simInstrs.Load()
 	res.SkippedInstrs = skippedInstrs.Load()
+	res.PrunedFaults = prunedFaults.Load()
+	res.CollapsedFaults = collapsedFaults.Load()
 	return res, nil
 }
 
 // parallelInjectionsWithSide is parallelInjections with a critical-SDC
 // counter, passing the injection index. Workers stop at injection
 // boundaries once ctx is cancelled; the completed count lets callers tell
-// a cancelled campaign from a finished one.
+// a cancelled campaign from a finished one. Progress is throttled to
+// ~1/1000 granularity with a guaranteed final (total, total) call.
 func parallelInjectionsWithSide(ctx context.Context, n, workers int, seed uint64,
 	progress func(done, total int), one func(int, *stats.RNG) (faults.Outcome, bool)) (faults.Tally, int, int) {
+	granule := n / 1000
+	if granule < 1 {
+		granule = 1
+	}
 	partial := make([]faults.Tally, workers)
 	critPartial := make([]int, workers)
 	var completed atomic.Int64
@@ -250,7 +347,7 @@ func parallelInjectionsWithSide(ctx context.Context, n, workers int, seed uint64
 					critPartial[w]++
 				}
 				d := int(completed.Add(1))
-				if progress != nil {
+				if progress != nil && (d == n || d%granule == 0) {
 					progress(d, n)
 				}
 			}

@@ -46,6 +46,7 @@ func PrepareWorkload(w *apps.Workload) (*Prepared, error) {
 		return nil, fmt.Errorf("swfi: golden run of %s failed: %w", w.Name, err)
 	}
 	rec := replay.NewRecorder(plain.Res.DynThreadInstrs/checkpointsPerCampaign, injectableOp)
+	rec.CaptureLiveness(operandMagnitude)
 	recOut, err := w.ExecuteWith(rec)
 	if err != nil {
 		return nil, fmt.Errorf("swfi: checkpoint replay of %s failed: %w", w.Name, err)
@@ -55,6 +56,10 @@ func PrepareWorkload(w *apps.Workload) (*Prepared, error) {
 	}
 	tr := rec.Finish()
 	tr.HostPure = w.PureHost
+	// Dead-site index for liveness pruning. HPC hosts may read any arena
+	// word between launches, so the whole arena is live at every launch
+	// boundary; transitive dead sites inside a launch remain prunable.
+	rec.ComputeLiveness(0, 0, true)
 	p := &Prepared{golden: golden, profile: Counts(tr.Profile), trace: tr}
 	p.injectable = p.profile.InjectableTotal()
 	return p, nil
@@ -79,6 +84,7 @@ func PrepareCNN(net *cnn.Network, input []float32) (*CNNPrepared, error) {
 		return nil, fmt.Errorf("swfi: golden run of %s failed: %w", net.Name, err)
 	}
 	rec := replay.NewRecorder(plain.Res.DynThreadInstrs/checkpointsPerCampaign, injectableOp)
+	rec.CaptureLiveness(operandMagnitude)
 	recOut, err := net.RunWith(rec, input, nil)
 	if err != nil {
 		return nil, fmt.Errorf("swfi: checkpoint replay of %s failed: %w", net.Name, err)
@@ -95,6 +101,10 @@ func PrepareCNN(net *cnn.Network, input []float32) (*CNNPrepared, error) {
 	tr.HostPure = true
 	off, words := net.OutputRegion()
 	tr.ComputeLiveIn(off, words)
+	// Dead-site index: the pure host never reads arena words outside the
+	// output region between launches, so liveness flows across launch
+	// boundaries from the output region alone.
+	rec.ComputeLiveness(off, words, false)
 	p := &CNNPrepared{golden: golden, profile: Counts(tr.Profile), trace: tr}
 	p.injectable = p.profile.InjectableTotal()
 	return p, nil

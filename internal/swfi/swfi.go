@@ -156,39 +156,52 @@ func (in *injector) post(ev *emu.Event) {
 	}
 	in.oldBits = old
 
-	var corrupted uint32
-	switch in.model {
+	var mag float64
+	if in.model.NeedsDB() {
+		mag = operandMagnitude(ev, lane)
+	}
+	corrupted, rel := drawCorruption(ev.Instr.Op, old, mag, in.model, in.db, in.focus, in.rng)
+	in.relErr = rel
+	in.newBits = corrupted
+	ev.CorruptDst(lane, corrupted)
+}
+
+// drawCorruption makes the corruption draws of a fired injection: given a
+// site's opcode, golden output bits and operand magnitude, it consumes
+// exactly the RNG draws injector.post would and returns the corrupted
+// value and relative error. The dead-site prune path calls it with the
+// liveness index's per-site record to reproduce — without simulating —
+// the injection an executed run would have made.
+func drawCorruption(op isa.Opcode, old uint32, mag float64, model FaultModel,
+	db *syndrome.DB, focus *faults.Module, r *stats.RNG) (newBits uint32, relErr float64) {
+	switch model {
 	case ModelBitFlip:
-		corrupted = old ^ 1<<uint(in.rng.Intn(32))
+		return old ^ 1<<uint(r.Intn(32)), 0
 	case ModelDoubleBitFlip:
-		b1 := in.rng.Intn(32)
-		b2 := (b1 + 1 + in.rng.Intn(31)) % 32
-		corrupted = old ^ 1<<uint(b1) ^ 1<<uint(b2)
+		b1 := r.Intn(32)
+		b2 := (b1 + 1 + r.Intn(31)) % 32
+		return old ^ 1<<uint(b1) ^ 1<<uint(b2), 0
 	default:
-		rng := faults.ClassifyMagnitude(operandMagnitude(ev, lane))
+		rng := faults.ClassifyMagnitude(mag)
 		mode := syndrome.SamplePowerLaw
-		if in.model == ModelSyndromeEmp {
+		if model == ModelSyndromeEmp {
 			mode = syndrome.SampleEmpirical
 		}
 		var rel float64
 		var found bool
-		if in.focus != nil {
-			rel, found = in.db.SampleFrom(ev.Instr.Op, rng, *in.focus, mode, in.rng)
+		if focus != nil {
+			rel, found = db.SampleFrom(op, rng, *focus, mode, r)
 		} else {
-			rel, found = in.db.Sample(ev.Instr.Op, rng, mode, in.rng)
+			rel, found = db.Sample(op, rng, mode, r)
 		}
 		if !found {
 			rel = 1.0 // uncharacterised pool: the canonical 100% syndrome
 		}
-		in.relErr = rel
-		if ev.Instr.Op.IsFloat() {
-			corrupted = syndrome.ApplyRelErrF32(old, rel, in.rng.Bool())
-		} else {
-			corrupted = syndrome.ApplyRelErrI32(old, rel, in.rng.Bool())
+		if op.IsFloat() {
+			return syndrome.ApplyRelErrF32(old, rel, r.Bool()), rel
 		}
+		return syndrome.ApplyRelErrI32(old, rel, r.Bool()), rel
 	}
-	in.newBits = corrupted
-	ev.CorruptDst(lane, corrupted)
 }
 
 // operandMagnitude estimates the instruction's input scale for syndrome
@@ -246,8 +259,23 @@ type Campaign struct {
 	// re-executes every injection run from dynamic instruction zero with
 	// hooks armed throughout. Results are bit-identical either way; the
 	// flag exists for regression tests and benchmarks of the fast-forward
-	// path itself.
+	// path itself. It implies NoPrune and NoCollapse: both layers live on
+	// the fast-forward trace.
 	NoFastForward bool
+
+	// NoPrune disables dead-site liveness pruning: faults landing on
+	// provably dead output sites are then simulated like any other instead
+	// of being classified Masked with zero emulator instructions. Results
+	// are bit-identical either way.
+	NoPrune bool
+
+	// NoCollapse disables fault-equivalence collapsing: injections whose
+	// (target instruction, flip mask) pair duplicates an earlier one are
+	// then simulated instead of copying the representative's memoized
+	// outcome. Results are bit-identical either way. Only the bit-flip
+	// models collapse — syndrome corruption draws depend on the faulted
+	// value, so equal targets do not imply equal corruptions.
+	NoCollapse bool
 
 	// Prepared, when non-nil, supplies a ready-made golden run, profile
 	// and checkpoint trace for Workload (from PrepareWorkload), letting
@@ -287,11 +315,43 @@ type Result struct {
 
 	// SimInstrs counts the thread-instructions actually simulated across
 	// all injection runs; SkippedInstrs counts those the fast-forward
-	// provably avoided (write-set launches plus restored snapshot
-	// prefixes). (SimInstrs+SkippedInstrs)/SimInstrs is the campaign's
-	// effective replay speedup. Both are zero on the NoFastForward path.
+	// provably avoided (write-set launches, restored snapshot prefixes,
+	// pruned and collapsed runs). (SimInstrs+SkippedInstrs)/SimInstrs is
+	// the campaign's effective replay speedup. Both are zero on the
+	// NoFastForward path.
 	SimInstrs     uint64
 	SkippedInstrs uint64
+
+	// PrunedFaults counts injections classified Masked by the dead-site
+	// liveness index alone — zero emulator instructions executed.
+	// CollapsedFaults counts injections resolved by copying an equivalence
+	// class representative's memoized outcome.
+	PrunedFaults    uint64
+	CollapsedFaults uint64
+
+	// NoReconvergeReason, when non-empty, explains why post-fault
+	// reconvergence fast-forward was unavailable for this workload (an
+	// impure host reading the arena between launches, e.g. quicksort's
+	// host-side partitioning).
+	NoReconvergeReason string
+}
+
+// PruneRate is the fraction of injections the dead-site index classified
+// without simulation.
+func (r *Result) PruneRate() float64 {
+	if r.Tally.Injections == 0 {
+		return 0
+	}
+	return float64(r.PrunedFaults) / float64(r.Tally.Injections)
+}
+
+// CollapseRate is the fraction of injections resolved by equivalence
+// collapsing.
+func (r *Result) CollapseRate() float64 {
+	if r.Tally.Injections == 0 {
+		return 0
+	}
+	return float64(r.CollapsedFaults) / float64(r.Tally.Injections)
 }
 
 // PVF is the SDC program vulnerability factor: the probability that a
@@ -356,6 +416,10 @@ func RunCtx(ctx context.Context, c Campaign) (*Result, error) {
 	}
 
 	res := &Result{Campaign: c, Profile: profile, Injectable: injectable}
+	if tr != nil && !tr.HostPure {
+		res.NoReconvergeReason = fmt.Sprintf(
+			"%s host code reads the arena between launches: post-fault runs cannot provably rejoin the golden schedule, so reconvergence fast-forward is off", c.Workload.Name)
+	}
 	var records []InjectionRecord
 	if c.RecordInjections {
 		records = make([]InjectionRecord, c.Injections)
@@ -367,14 +431,27 @@ func RunCtx(ctx context.Context, c Campaign) (*Result, error) {
 	// Worker w exclusively runs injections i ≡ w (mod workers), so pool
 	// i%workers gives each worker a private reusable arena.
 	var pools []*replay.Pool
+	var live *replay.Liveness
 	if tr != nil {
 		pools = make([]*replay.Pool, workers)
 		for i := range pools {
 			pools[i] = &replay.Pool{}
 		}
+		if !c.NoPrune {
+			live = tr.Live
+		}
 	}
-	var simInstrs, skippedInstrs atomic.Uint64
-	tallies, completed := parallelInjectionsIdx(ctx, c.Injections, workers, c.Seed, c.Progress, func(i int, r *stats.RNG) faults.Outcome {
+	var classOf []*collapseClass
+	if tr != nil && !c.NoCollapse && (c.Model == ModelBitFlip || c.Model == ModelDoubleBitFlip) {
+		classOf = scheduleCollapse(c.Injections, injectable, live,
+			c.Model == ModelDoubleBitFlip, func(i int) *stats.RNG {
+				return stats.NewRNG(c.Seed ^ 0x9E3779B97F4A7C15*uint64(i+1))
+			})
+	}
+	var simInstrs, skippedInstrs, prunedFaults, collapsedFaults atomic.Uint64
+	// runOne simulates (or prunes) one injection and returns its outcome
+	// plus its own sim/skipped instruction counts for member accounting.
+	runOne := func(i int, r *stats.RNG) (faults.Outcome, uint64, uint64) {
 		in := &injector{
 			target: r.Uint64() % injectable,
 			model:  c.Model,
@@ -382,16 +459,39 @@ func RunCtx(ctx context.Context, c Campaign) (*Result, error) {
 			focus:  c.ModuleFocus,
 			rng:    r,
 		}
+		if live != nil {
+			if site, dead := live.Dead(in.target); dead {
+				// The fault lands on a provably dead output site: the final
+				// output is bit-identical to golden (and addresses/control
+				// inputs are never dead, so it cannot trap or hang). Masked,
+				// zero emulator instructions. The site record reproduces the
+				// corruption draws an executed run would have made.
+				prunedFaults.Add(1)
+				skippedInstrs.Add(tr.Instrs)
+				if records != nil {
+					newBits, rel := drawCorruption(site.Op, site.OldBits, site.Mag,
+						c.Model, c.DB, c.ModuleFocus, r)
+					records[i] = InjectionRecord{
+						Op: site.Op, RelErr: rel,
+						OldBits: site.OldBits, NewBits: newBits,
+						Outcome: faults.Masked,
+					}
+				}
+				return faults.Masked, 0, tr.Instrs
+			}
+		}
 		var out []uint32
 		var err error
+		var sim, skipped uint64
 		if tr != nil {
 			p := replay.NewPlayer(tr, in.target, emu.Hooks{Post: in.post},
 				func(countDone uint64) { in.counter = countDone },
 				func() bool { return in.fired },
 				pools[i%workers])
 			out, err = c.Workload.ExecuteWith(p)
-			simInstrs.Add(p.Live.DynThreadInstrs)
-			skippedInstrs.Add(p.Skipped)
+			sim, skipped = p.Live.DynThreadInstrs, p.Skipped
+			simInstrs.Add(sim)
+			skippedInstrs.Add(skipped)
 		} else {
 			out, err = c.Workload.Execute(emu.Hooks{Post: in.post})
 		}
@@ -411,6 +511,46 @@ func RunCtx(ctx context.Context, c Campaign) (*Result, error) {
 				Outcome: outcome,
 			}
 		}
+		return outcome, sim, skipped
+	}
+	tallies, completed := parallelInjectionsIdx(ctx, c.Injections, workers, c.Seed, c.Progress, func(i int, r *stats.RNG) faults.Outcome {
+		var cl *collapseClass
+		if classOf != nil {
+			cl = classOf[i]
+		}
+		if cl != nil && cl.rep != i {
+			// Equivalence-class member: its (target, mask) pair duplicates
+			// the representative's, so its outcome and record are copies.
+			// The representative always has a smaller injection index, so
+			// the wait graph is acyclic across the striped workers. A
+			// published result is preferred over cancellation — select
+			// picks randomly among ready cases, and a campaign whose last
+			// member resolved must stay correct under the completion
+			// carve-out below.
+			select {
+			case <-cl.done:
+			default:
+				select {
+				case <-cl.done:
+				case <-ctx.Done():
+					return faults.Masked // discarded: the campaign returns ctx.Err()
+				}
+			}
+			collapsedFaults.Add(1)
+			skippedInstrs.Add(cl.sim + cl.skipped)
+			if records != nil {
+				records[i] = cl.rec
+			}
+			return cl.outcome
+		}
+		outcome, sim, skipped := runOne(i, r)
+		if cl != nil {
+			cl.outcome, cl.sim, cl.skipped = outcome, sim, skipped
+			if records != nil {
+				cl.rec = records[i]
+			}
+			close(cl.done)
+		}
 		return outcome
 	})
 	// Cancellation that lands after the last injection finished does not
@@ -422,18 +562,93 @@ func RunCtx(ctx context.Context, c Campaign) (*Result, error) {
 	res.Records = records
 	res.SimInstrs = simInstrs.Load()
 	res.SkippedInstrs = skippedInstrs.Load()
+	res.PrunedFaults = prunedFaults.Load()
+	res.CollapsedFaults = collapsedFaults.Load()
 	return res, nil
+}
+
+// collapseClass memoizes one fault-equivalence class: the representative
+// (the class's smallest injection index) simulates and publishes; members
+// wait on done and copy. Mirrors internal/rtlfi's worker-level collapse
+// scheme.
+type collapseClass struct {
+	rep  int
+	done chan struct{}
+
+	// Published by the representative before done is closed.
+	outcome  faults.Outcome
+	critical bool // CNN campaigns: the representative's critical-SDC verdict
+	rec      InjectionRecord
+	sim      uint64
+	skipped  uint64
+}
+
+// scheduleCollapse pre-draws every injection's (target, flip mask) pair
+// and groups duplicates into equivalence classes. This is possible for
+// the bit-flip models because neither draw depends on execution state —
+// the pre-draw consumes the same stream prefix (target, then mask) from a
+// fresh copy of each injection's RNG, leaving the runtime streams
+// untouched. Injections whose target the liveness index already proves
+// dead are left out (the prune path classifies each for free anyway, and
+// counts them as pruned rather than collapsed). Returns nil when no class
+// has more than one member, when the space is collision-free by
+// construction, or when targets don't fit the packed key (injectable ≥
+// 2^32).
+func scheduleCollapse(n int, injectable uint64, live *replay.Liveness,
+	double bool, rngFor func(i int) *stats.RNG) []*collapseClass {
+	if injectable >= 1<<32 {
+		return nil
+	}
+	classOf := make([]*collapseClass, n)
+	classes := make(map[uint64]*collapseClass, n)
+	collapsed := false
+	for i := 0; i < n; i++ {
+		r := rngFor(i)
+		target := r.Uint64() % injectable
+		var mask uint32
+		if double {
+			b1 := r.Intn(32)
+			b2 := (b1 + 1 + r.Intn(31)) % 32
+			mask = 1<<uint(b1) | 1<<uint(b2)
+		} else {
+			mask = 1 << uint(r.Intn(32))
+		}
+		if live != nil {
+			if _, dead := live.Dead(target); dead {
+				continue
+			}
+		}
+		key := target<<32 | uint64(mask)
+		if cl, ok := classes[key]; ok {
+			classOf[i] = cl
+			collapsed = true
+		} else {
+			cl := &collapseClass{rep: i, done: make(chan struct{})}
+			classes[key] = cl
+			classOf[i] = cl
+		}
+	}
+	if !collapsed {
+		return nil
+	}
+	return classOf
 }
 
 // parallelInjectionsIdx fans the injection loop across workers with
 // deterministic per-injection RNG streams, passing the injection index.
 // Workers stop at injection boundaries once ctx is cancelled. It returns
 // the merged tally and the number of injections that completed, so
-// callers can tell a cancelled campaign from a finished one.
+// callers can tell a cancelled campaign from a finished one. Progress is
+// throttled to ~1/1000 granularity (every completion for small campaigns)
+// with a guaranteed final (total, total) call.
 func parallelInjectionsIdx(ctx context.Context, n, workers int, seed uint64,
 	progress func(done, total int), one func(int, *stats.RNG) faults.Outcome) (faults.Tally, int) {
 	if workers <= 0 {
 		workers = defaultWorkers()
+	}
+	granule := n / 1000
+	if granule < 1 {
+		granule = 1
 	}
 	partial := make([]faults.Tally, workers)
 	var completed atomic.Int64
@@ -447,7 +662,7 @@ func parallelInjectionsIdx(ctx context.Context, n, workers int, seed uint64,
 				r := stats.NewRNG(seed ^ 0x9E3779B97F4A7C15*uint64(i+1))
 				partial[w].Add(one(i, r), 1)
 				d := int(completed.Add(1))
-				if progress != nil {
+				if progress != nil && (d == n || d%granule == 0) {
 					progress(d, n)
 				}
 			}
