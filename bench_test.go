@@ -23,6 +23,7 @@ import (
 	"gpufi/internal/emu"
 	"gpufi/internal/faults"
 	"gpufi/internal/isa"
+	"gpufi/internal/kasm"
 	"gpufi/internal/mxm"
 	"gpufi/internal/rtl"
 	"gpufi/internal/rtlfi"
@@ -532,6 +533,7 @@ func BenchmarkSWFI_HPCCampaign(b *testing.B) {
 					b.ReportMetric(replaySpeedup(res.SimInstrs, res.SkippedInstrs), "ff-speedup")
 					b.ReportMetric(res.PruneRate(), "prune-rate")
 					b.ReportMetric(res.CollapseRate(), "collapse-rate")
+					b.ReportMetric(res.EmuMIPS(), "emu-mips")
 				}
 			}
 		})
@@ -557,6 +559,7 @@ func BenchmarkSWFI_CNNCampaign(b *testing.B) {
 					b.ReportMetric(replaySpeedup(res.SimInstrs, res.SkippedInstrs), "ff-speedup")
 					b.ReportMetric(res.PruneRate(), "prune-rate")
 					b.ReportMetric(res.CollapseRate(), "collapse-rate")
+					b.ReportMetric(res.EmuMIPS(), "emu-mips")
 				}
 			}
 		})
@@ -1095,5 +1098,158 @@ func BenchmarkAblation_SDCCriterion(b *testing.B) {
 	})
 	for i := 0; i < b.N; i++ {
 		_ = rows
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Emulator interpreter microbenchmarks (tiered fast path)
+// ---------------------------------------------------------------------------
+
+// emuBenchTiers runs a kernel under both interpreter tiers: the default
+// pre-decoded fast path and the reference Tier 0 interpreter forced via
+// Launch.NoFastPath. The emu-mips metric is millions of thread-level
+// instructions interpreted per wall-clock second.
+var emuBenchTiers = []struct {
+	name       string
+	noFastPath bool
+}{
+	{"Fast", false},
+	{"Reference", true},
+}
+
+func emuBenchLoop(b *testing.B, mk func() *emu.Launch) {
+	b.Helper()
+	var instrs uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := emu.Run(mk())
+		if err != nil {
+			b.Fatal(err)
+		}
+		instrs = res.DynThreadInstrs
+	}
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(instrs)*float64(b.N)/sec/1e6, "emu-mips")
+	}
+}
+
+// emuDenseFFMAProg is the fast path's best case: every lane of every warp
+// stays active, so the interpreter takes the dense full-mask row loops
+// for the whole run. ~1.4M thread-instructions per launch.
+func emuDenseFFMAProg(b *testing.B) *kasm.Program {
+	b.Helper()
+	tid, acc, x, y, cnt := isa.Reg(1), isa.Reg(2), isa.Reg(3), isa.Reg(4), isa.Reg(5)
+	bb := kasm.New("bench-dense-ffma")
+	bb.S2R(tid, isa.SRTid)
+	bb.I2F(x, tid)
+	bb.MovF(y, 1.0000001)
+	bb.MovF(acc, 0)
+	bb.MovI(cnt, 256)
+	bb.Loop(func() {
+		for i := 0; i < 8; i++ {
+			bb.FFma(acc, x, y, acc)
+		}
+		bb.IAddI(cnt, cnt, -1)
+	}, func() isa.Pred {
+		bb.ISetPI(isa.P(1), isa.CmpGT, cnt, 0)
+		return isa.P(1)
+	})
+	bb.Gst(tid, 0, acc)
+	prog, err := bb.Finalize()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return prog
+}
+
+// emuDivergentProg is the fast path's worst case: per-lane trip counts
+// plus a parity-predicated region keep the active mask sparse, so nearly
+// every warp instruction goes through the guarded per-lane loops and the
+// reconvergence stack churns continuously.
+func emuDivergentProg(b *testing.B) *kasm.Program {
+	b.Helper()
+	tid, acc, x, par, cnt := isa.Reg(1), isa.Reg(2), isa.Reg(3), isa.Reg(4), isa.Reg(5)
+	bb := kasm.New("bench-divergent")
+	bb.S2R(tid, isa.SRTid)
+	bb.I2F(x, tid)
+	bb.MovF(acc, 0)
+	bb.AndI(cnt, tid, 63)
+	bb.IAddI(cnt, cnt, 1) // 1..64 iterations, unique per lane group
+	bb.AndI(par, tid, 1)
+	bb.ISetPI(isa.P(2), isa.CmpNE, par, 0)
+	bb.Loop(func() {
+		bb.FFma(acc, x, x, acc)
+		bb.If(isa.P(2), func() {
+			bb.FMul(acc, acc, x)
+			bb.FAdd(acc, acc, x)
+		})
+		bb.IAddI(cnt, cnt, -1)
+	}, func() isa.Pred {
+		bb.ISetPI(isa.P(1), isa.CmpGT, cnt, 0)
+		return isa.P(1)
+	})
+	bb.Gst(tid, 0, acc)
+	prog, err := bb.Finalize()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return prog
+}
+
+func BenchmarkEmu_DenseFFMA(b *testing.B) {
+	prog := emuDenseFFMAProg(b)
+	for _, tier := range emuBenchTiers {
+		b.Run(tier.name, func(b *testing.B) {
+			emuBenchLoop(b, func() *emu.Launch {
+				return &emu.Launch{
+					Prog: prog, Grid: 2, Block: 256,
+					Global: make([]uint32, 512), NoFastPath: tier.noFastPath,
+				}
+			})
+		})
+	}
+}
+
+func BenchmarkEmu_Divergent(b *testing.B) {
+	prog := emuDivergentProg(b)
+	for _, tier := range emuBenchTiers {
+		b.Run(tier.name, func(b *testing.B) {
+			emuBenchLoop(b, func() *emu.Launch {
+				return &emu.Launch{
+					Prog: prog, Grid: 2, Block: 256,
+					Global: make([]uint32, 512), NoFastPath: tier.noFastPath,
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkEmu_Hooks prices the tier-selection rule itself: the same
+// dense kernel with no hooks (Tier 1), with an armed Post observation
+// hook (falls back to Tier 0 plus per-instruction event preparation),
+// and with Tier 0 forced but no hooks (isolating the event-prep cost
+// from the interpreter-tier cost).
+func BenchmarkEmu_Hooks(b *testing.B) {
+	prog := emuDenseFFMAProg(b)
+	cases := []struct {
+		name string
+		mk   func() *emu.Launch
+	}{
+		{"Unhooked", func() *emu.Launch {
+			return &emu.Launch{Prog: prog, Grid: 2, Block: 256, Global: make([]uint32, 512)}
+		}},
+		{"UnhookedTier0", func() *emu.Launch {
+			return &emu.Launch{Prog: prog, Grid: 2, Block: 256, Global: make([]uint32, 512), NoFastPath: true}
+		}},
+		{"PostHook", func() *emu.Launch {
+			n := uint64(0)
+			return &emu.Launch{
+				Prog: prog, Grid: 2, Block: 256, Global: make([]uint32, 512),
+				Hooks: emu.Hooks{Post: func(ev *emu.Event) { n += uint64(ev.ActiveCount()) }},
+			}
+		}},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) { emuBenchLoop(b, tc.mk) })
 	}
 }

@@ -1,12 +1,12 @@
 // Command gpufi-benchguard is the CI bench-regression gate: it parses
-// `go test -bench` output and compares every RTLFI_/SWFI_ benchmark
+// `go test -bench` output and compares every RTLFI_/SWFI_/Emu_ benchmark
 // against the committed BENCH_*.json baselines, failing (exit 1) when any
 // benchmark's ns/op regresses beyond the allowed factor.
 //
 // Usage:
 //
-//	go test -run '^$' -bench 'RTLFI_|SWFI_' -benchtime 1x . | tee bench.out
-//	gpufi-benchguard [-max-ratio 2.5] [-baselines BENCH_rtlfi.json,BENCH_swfi.json] bench.out
+//	go test -run '^$' -bench 'RTLFI_|SWFI_|Emu_' -benchtime 1x . | tee bench.out
+//	gpufi-benchguard [-max-ratio 2.5] [-baselines BENCH_rtlfi.json,BENCH_swfi.json,BENCH_emu.json] bench.out
 //
 // With no file argument the bench output is read from stdin.
 //
@@ -61,7 +61,7 @@ func main() {
 	log.SetPrefix("gpufi-benchguard: ")
 
 	maxRatio := flag.Float64("max-ratio", 2.5, "fail when measured ns/op exceeds baseline by more than this factor")
-	baselines := flag.String("baselines", "BENCH_rtlfi.json,BENCH_swfi.json", "comma-separated baseline files (gpufi-bench/v1)")
+	baselines := flag.String("baselines", "BENCH_rtlfi.json,BENCH_swfi.json,BENCH_emu.json", "comma-separated baseline files (gpufi-bench/v1)")
 	allowMissing := flag.Bool("allow-missing", false, "tolerate guarded baseline entries absent from the measured set")
 	flag.Parse()
 
@@ -157,9 +157,13 @@ func gate(measured, base map[string]float64, maxRatio float64) report {
 }
 
 // guarded reports whether the gate applies to a benchmark: the RTL and
-// software fault-injection engine families.
+// software fault-injection engine families, plus the interpreter
+// microbenchmarks (a Tier-1 fast-path regression would otherwise hide
+// inside campaign noise).
 func guarded(name string) bool {
-	return strings.HasPrefix(name, "BenchmarkRTLFI_") || strings.HasPrefix(name, "BenchmarkSWFI_")
+	return strings.HasPrefix(name, "BenchmarkRTLFI_") ||
+		strings.HasPrefix(name, "BenchmarkSWFI_") ||
+		strings.HasPrefix(name, "BenchmarkEmu_")
 }
 
 func loadBaselines(paths []string) (map[string]float64, error) {

@@ -7,15 +7,16 @@
 //	gpufi-sw [-app MxM|Lava|Quicksort|Hotspot|LUD|Gaussian|LeNet|Yolo]
 //	         [-model bitflip|bitflip2|syndrome|tile] [-db syndromes.json]
 //	         [-n 1000] [-seed S] [-no-fast-forward] [-no-prune] [-no-collapse]
-//	         [-cpuprofile cpu.out] [-memprofile mem.out]
+//	         [-no-fast-path] [-cpuprofile cpu.out] [-memprofile mem.out]
 //
 // Without -app, all six HPC applications run under the chosen model.
 // -no-fast-forward disables the golden-prefix checkpoint optimisation and
 // re-simulates every injection run from instruction zero; -no-prune
 // disables dead-site liveness pruning and -no-collapse disables
-// fault-equivalence collapsing. Results are bit-identical under every
-// combination; the flags exist for regression comparison and for
-// benchmarking the accelerator layers themselves.
+// fault-equivalence collapsing; -no-fast-path forces the reference
+// (Tier 0) interpreter instead of the pre-decoded fast path. Results are
+// bit-identical under every combination; the flags exist for regression
+// comparison and for benchmarking the accelerator layers themselves.
 //
 // SIGINT cancels the campaign at the next injection boundary and prints
 // how many injections completed before the interrupt.
@@ -50,6 +51,7 @@ func main() {
 		noFF       = flag.Bool("no-fast-forward", false, "replay every injection run in full instead of restoring golden-prefix checkpoints")
 		noPrune    = flag.Bool("no-prune", false, "disable dead-site liveness pruning (results are bit-identical)")
 		noCollapse = flag.Bool("no-collapse", false, "disable fault-equivalence collapsing (results are bit-identical)")
+		noFastPath = flag.Bool("no-fast-path", false, "force the reference (Tier 0) interpreter instead of the pre-decoded fast path (results are bit-identical)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this path")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this path on exit")
 	)
@@ -74,7 +76,7 @@ func main() {
 
 	switch *appName {
 	case "LeNet", "Yolo":
-		runCNN(ctx, *appName, *model, db, *n, *seed, *noFF, *noPrune, *noCollapse)
+		runCNN(ctx, *appName, *model, db, *n, *seed, *noFF, *noPrune, *noCollapse, *noFastPath)
 		return
 	}
 
@@ -102,7 +104,8 @@ func main() {
 		res, err := gpufi.RunCampaignCtx(ctx, gpufi.Campaign{
 			Workload: w, Model: fm, DB: db, Injections: *n, Seed: *seed,
 			NoFastForward: *noFF, NoPrune: *noPrune, NoCollapse: *noCollapse,
-			Progress: func(d, t int) { progressMax(&done, int64(d)) },
+			NoFastPath: *noFastPath,
+			Progress:   func(d, t int) { progressMax(&done, int64(d)) },
 		})
 		if err != nil {
 			if ctx.Err() != nil {
@@ -115,7 +118,8 @@ func main() {
 			log.Printf("%s: %s", w.Name, res.NoReconvergeReason)
 		}
 		logEngine(w.Name, res.SimInstrs, res.SkippedInstrs,
-			res.PrunedFaults, res.CollapsedFaults, res.PruneRate(), res.CollapseRate())
+			res.PrunedFaults, res.CollapsedFaults, res.PruneRate(), res.CollapseRate(),
+			res.EmuMIPS(), res.EffectiveMIPS())
 		lo, hi := res.PVFCI()
 		t := res.Tally
 		fmt.Printf("%-10s %-26s PVF=%.3f [%.3f, %.3f]  (masked %d, SDC %d, DUE %d)\n",
@@ -125,8 +129,10 @@ func main() {
 
 // logEngine reports the campaign accelerator accounting: how many faults
 // the liveness index pruned, how many the equivalence classes collapsed,
-// and the effective replay speedup of what remained.
-func logEngine(name string, sim, skipped, pruned, collapsed uint64, pruneRate, collapseRate float64) {
+// the effective replay speedup of what remained, and the interpreter
+// throughput (emulated MIPS over interpreted instructions; effective
+// MIPS also credits the fast-forward-skipped ones).
+func logEngine(name string, sim, skipped, pruned, collapsed uint64, pruneRate, collapseRate, emuMIPS, effMIPS float64) {
 	if sim == 0 && skipped == 0 {
 		return // NoFastForward: the engine ran plainly, nothing to report
 	}
@@ -134,8 +140,8 @@ func logEngine(name string, sim, skipped, pruned, collapsed uint64, pruneRate, c
 	if sim > 0 {
 		speedup = float64(sim+skipped) / float64(sim)
 	}
-	log.Printf("%s: engine pruned %d (%.1f%%), collapsed %d (%.1f%%), replay speedup %.2fx (%d sim / %d skipped instrs)",
-		name, pruned, 100*pruneRate, collapsed, 100*collapseRate, speedup, sim, skipped)
+	log.Printf("%s: engine pruned %d (%.1f%%), collapsed %d (%.1f%%), replay speedup %.2fx (%d sim / %d skipped instrs), %.1f emu MIPS (%.1f effective)",
+		name, pruned, 100*pruneRate, collapsed, 100*collapseRate, speedup, sim, skipped, emuMIPS, effMIPS)
 }
 
 // startProfiles starts CPU profiling and arranges a heap profile, both
@@ -184,7 +190,7 @@ func progressMax(v *atomic.Int64, n int64) {
 	}
 }
 
-func runCNN(ctx context.Context, name, model string, db *gpufi.DB, n int, seed uint64, noFF, noPrune, noCollapse bool) {
+func runCNN(ctx context.Context, name, model string, db *gpufi.DB, n int, seed uint64, noFF, noPrune, noCollapse, noFastPath bool) {
 	var (
 		net      *gpufi.Network
 		input    []float32
@@ -214,7 +220,8 @@ func runCNN(ctx context.Context, name, model string, db *gpufi.DB, n int, seed u
 		Net: net, Input: input, Model: cm, DB: db,
 		Injections: n, Seed: seed, Critical: critical,
 		NoFastForward: noFF, NoPrune: noPrune, NoCollapse: noCollapse,
-		Progress: func(d, t int) { progressMax(&done, int64(d)) },
+		NoFastPath: noFastPath,
+		Progress:   func(d, t int) { progressMax(&done, int64(d)) },
 	})
 	if err != nil {
 		if ctx.Err() != nil {
@@ -224,7 +231,8 @@ func runCNN(ctx context.Context, name, model string, db *gpufi.DB, n int, seed u
 		log.Fatal(err)
 	}
 	logEngine(name, res.SimInstrs, res.SkippedInstrs,
-		res.PrunedFaults, res.CollapsedFaults, res.PruneRate(), res.CollapseRate())
+		res.PrunedFaults, res.CollapsedFaults, res.PruneRate(), res.CollapseRate(),
+		res.EmuMIPS(), res.EffectiveMIPS())
 	t := res.Tally
 	fmt.Printf("%-10s %-26s PVF=%.3f  critical SDCs %d/%d (%.1f%%)  (masked %d, DUE %d)\n",
 		name, cm, res.PVF(), res.CriticalSDC, t.SDCs(), 100*res.CriticalShare(), t.Maskeds, t.DUEs)

@@ -150,19 +150,21 @@ func TestExecutionModesAgree(t *testing.T) {
 // property over all 8 paper workloads: the default engine (dead-site
 // pruning + equivalence collapsing + fast-forward) yields byte-identical
 // tallies and injection records across worker counts, with each
-// accelerator disabled, and against the plain full-replay path.
+// accelerator disabled, against the plain full-replay path, and with the
+// pre-decoded interpreter fast path forced off (Tier 0 only).
 func TestCampaignModeLatticeDeterministic(t *testing.T) {
 	type arm struct {
-		name                      string
-		workers                   int
-		noPrune, noCollapse, noFF bool
+		name                                  string
+		workers                               int
+		noPrune, noCollapse, noFF, noFastPath bool
 	}
 	arms := []arm{
-		{"default/w1", 1, false, false, false},
-		{"default/w4", 4, false, false, false},
-		{"no-prune", 4, true, false, false},
-		{"no-collapse", 4, false, true, false},
-		{"full-replay", 4, true, true, true},
+		{"default/w1", 1, false, false, false, false},
+		{"default/w4", 4, false, false, false, false},
+		{"no-prune", 4, true, false, false, false},
+		{"no-collapse", 4, false, true, false, false},
+		{"full-replay", 4, true, true, true, false},
+		{"no-fast-path", 4, false, false, false, true},
 	}
 	type outcome struct {
 		tally             faults.Tally
@@ -177,6 +179,7 @@ func TestCampaignModeLatticeDeterministic(t *testing.T) {
 				Workload: w, Model: ModelBitFlip, Injections: n, Seed: 53,
 				Workers: a.workers, RecordInjections: true,
 				NoPrune: a.noPrune, NoCollapse: a.noCollapse, NoFastForward: a.noFF,
+				NoFastPath: a.noFastPath,
 			})
 			if err != nil {
 				t.Fatal(err)
@@ -190,6 +193,7 @@ func TestCampaignModeLatticeDeterministic(t *testing.T) {
 				Net: net, Input: input, Model: swfi.CNNBitFlip,
 				Injections: n, Seed: 53, Workers: a.workers, Critical: critical,
 				NoPrune: a.noPrune, NoCollapse: a.noCollapse, NoFastForward: a.noFF,
+				NoFastPath: a.noFastPath,
 			})
 			if err != nil {
 				t.Fatal(err)

@@ -467,6 +467,11 @@ type EvalConfig struct {
 	NoPrune    bool
 	NoCollapse bool
 
+	// NoFastPath forces the emulator's Tier-0 reference interpreter for
+	// every campaign of the evaluation; see swfi.Campaign.NoFastPath.
+	// Results are bit-identical either way.
+	NoFastPath bool
+
 	// Progress, when non-nil, receives injection-level progress
 	// aggregated over all campaigns of the evaluation. It may be called
 	// concurrently and done values may arrive out of order; keep a
@@ -526,7 +531,7 @@ func EvaluateHPCCtx(ctx context.Context, db *syndrome.DB, workloads []*apps.Work
 		flip, err := swfi.RunCtx(ctx, swfi.Campaign{
 			Workload: w, Model: swfi.ModelBitFlip, Prepared: prep,
 			Injections: cfg.Injections, Seed: cfg.Seed + uint64(i)*2, Workers: cfg.Workers,
-			NoPrune: cfg.NoPrune, NoCollapse: cfg.NoCollapse,
+			NoPrune: cfg.NoPrune, NoCollapse: cfg.NoCollapse, NoFastPath: cfg.NoFastPath,
 			Progress: progress(),
 		})
 		if err != nil {
@@ -536,7 +541,7 @@ func EvaluateHPCCtx(ctx context.Context, db *syndrome.DB, workloads []*apps.Work
 		syn, err := swfi.RunCtx(ctx, swfi.Campaign{
 			Workload: w, Model: swfi.ModelSyndrome, DB: db, Prepared: prep,
 			Injections: cfg.Injections, Seed: cfg.Seed + uint64(i)*2 + 1, Workers: cfg.Workers,
-			NoPrune: cfg.NoPrune, NoCollapse: cfg.NoCollapse,
+			NoPrune: cfg.NoPrune, NoCollapse: cfg.NoCollapse, NoFastPath: cfg.NoFastPath,
 			Progress: progress(),
 		})
 		if err != nil {
@@ -589,7 +594,7 @@ func EvaluateCNNCtx(ctx context.Context, db *syndrome.DB, name string, net *cnn.
 		res, err := swfi.RunCNNCtx(ctx, swfi.CNNCampaign{
 			Net: net, Input: input, Model: model, DB: db, Prepared: prep,
 			Injections: cfg.Injections, Seed: seed, Workers: cfg.Workers,
-			NoPrune: cfg.NoPrune, NoCollapse: cfg.NoCollapse,
+			NoPrune: cfg.NoPrune, NoCollapse: cfg.NoCollapse, NoFastPath: cfg.NoFastPath,
 			Critical: critical, Progress: progress,
 		})
 		if err == nil {

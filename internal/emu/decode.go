@@ -1,0 +1,132 @@
+package emu
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"gpufi/internal/isa"
+	"gpufi/internal/kasm"
+)
+
+// The Tier-1 fast path interprets a pre-decoded program representation
+// instead of raw isa.Instr values. Decoding resolves once, per program,
+// everything the reference interpreter re-derives on every executed lane:
+// guard predicate index and polarity, operand register indices, the
+// HasDst/RZ destination test, UseImmB selection and branch targets. The
+// decoded form is cached per *kasm.Program, which is sound because
+// programs are built once by kasm.Finalize and never mutated afterwards
+// (a property every existing workload already relies on for label
+// resolution).
+
+// dispatch classes of a decoded instruction. Everything that is not
+// control flow goes through execDataFast.
+const (
+	kData uint8 = iota
+	kBRA
+	kEXIT
+	kBAR
+	kNOP
+)
+
+// dinstr is one pre-decoded instruction. Field order keeps the struct
+// compact; it is copied by pointer only.
+type dinstr struct {
+	op   isa.Opcode
+	kind uint8
+	gIdx uint8 // guard predicate index
+	dst  uint8
+	srcA uint8
+	srcB uint8
+	srcC uint8
+	pIdx uint8 // PDst predicate index
+	pNeg bool  // PDst negation (write complement, read complement)
+	// writeDst is HasDst with the RZ sink resolved at decode time: the
+	// fast path routes non-writing results into a scratch row instead of
+	// testing Dst != RZ per lane.
+	writeDst bool
+	useImm   bool
+	cmp      isa.Cmp
+	gXor     uint32 // 0 or ^0: guard mask = preds[gIdx] ^ gXor
+	pXor     uint32 // 0 or ^0: PDst read mask = preds[pIdx] ^ pXor
+	imm      int32
+	target   int32
+	reconv   int32
+}
+
+// dprog is a decoded program. len(ins) always equals len(Prog.Instrs) of
+// the program it was decoded from.
+type dprog struct {
+	ins []dinstr
+}
+
+func decodeProgram(p *kasm.Program) *dprog {
+	dp := &dprog{ins: make([]dinstr, len(p.Instrs))}
+	for i := range p.Instrs {
+		in := &p.Instrs[i]
+		d := &dp.ins[i]
+		d.op = in.Op
+		d.gIdx = uint8(in.Guard.Index())
+		if in.Guard.Neg() {
+			d.gXor = ^uint32(0)
+		}
+		d.dst = uint8(in.Dst)
+		d.srcA = uint8(in.SrcA)
+		d.srcB = uint8(in.SrcB)
+		d.srcC = uint8(in.SrcC)
+		d.pIdx = uint8(in.PDst.Index())
+		d.pNeg = in.PDst.Neg()
+		if d.pNeg {
+			d.pXor = ^uint32(0)
+		}
+		d.writeDst = in.Op.HasDst() && in.Dst != isa.RZ
+		d.useImm = in.UseImmB
+		d.cmp = in.Cmp
+		d.imm = in.Imm
+		d.target = int32(in.Target)
+		d.reconv = int32(in.Reconv)
+		switch in.Op {
+		case isa.OpBRA:
+			d.kind = kBRA
+		case isa.OpEXIT:
+			d.kind = kEXIT
+		case isa.OpBAR:
+			d.kind = kBAR
+		case isa.OpNOP:
+			d.kind = kNOP
+		default:
+			d.kind = kData
+		}
+	}
+	return dp
+}
+
+// decodeCache maps *kasm.Program to its decoded form. Production
+// workloads build a handful of programs per process, so the cache stays
+// tiny; the size cap only matters for adversarial users (fuzzing) that
+// launch thousands of ephemeral programs, where holding every key alive
+// would otherwise leak.
+var (
+	decodeCache     sync.Map // *kasm.Program -> *dprog
+	decodeCacheSize atomic.Int64
+)
+
+const decodeCacheMax = 4096
+
+func decoded(p *kasm.Program) *dprog {
+	if v, ok := decodeCache.Load(p); ok {
+		return v.(*dprog)
+	}
+	dp := decodeProgram(p)
+	if _, loaded := decodeCache.LoadOrStore(p, dp); !loaded {
+		if decodeCacheSize.Add(1) > decodeCacheMax {
+			// Drop everything rather than track recency: decoding is
+			// cheap and long-lived programs repopulate on next launch.
+			decodeCache.Range(func(k, _ any) bool {
+				decodeCache.Delete(k)
+				return true
+			})
+			decodeCacheSize.Store(0)
+		}
+	}
+	return dp
+}

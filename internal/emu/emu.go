@@ -72,6 +72,14 @@ type Launch struct {
 	Hooks        Hooks     // optional instrumentation
 	MaxDynInstrs uint64    // watchdog; DefaultMaxDynInstrs when zero
 	Mem          *MemTrace // optional global-memory access tracing
+
+	// NoFastPath forces the Tier-0 reference interpreter even where the
+	// Tier-1 pre-decoded fast path would apply (no armed per-instruction
+	// hooks). The two tiers are bit-identical — enforced by
+	// FuzzEmuFastPathVsReference — so this is an escape hatch for
+	// regression comparison and for benchmarking the interpreter itself,
+	// like swfi's NoFastForward.
+	NoFastPath bool
 }
 
 // MemTrace collects the global-memory words a launch reads and writes, as
@@ -110,7 +118,24 @@ func newExec(l *Launch) *exec {
 	if ex.budget == 0 {
 		ex.budget = DefaultMaxDynInstrs
 	}
+	if !l.NoFastPath && l.Prog != nil {
+		ex.dp = decoded(l.Prog)
+	}
+	ex.recomputeFast()
 	return ex
+}
+
+// recomputeFast selects the interpreter tier. Tier 1 (the pre-decoded
+// fast path) runs whenever no per-instruction hook can observe an
+// instruction: either none is attached, a countdown (ArmAfter/OnArm)
+// has not armed yet, or an armed hook has called Event.Disarm. Tier 0 is
+// the reference interpreter; it takes over the moment hooks arm, and
+// blockLoop re-evaluates the choice at the arming and disarming
+// boundaries. MemTrace does not force a tier: the fast path marks
+// read/write bitmaps exactly like the reference interpreter.
+func (ex *exec) recomputeFast() {
+	ex.fast = ex.dp != nil &&
+		!(ex.armed && !ex.disarmed && (ex.l.Hooks.Pre != nil || ex.l.Hooks.Post != nil))
 }
 
 func (ex *exec) run() (Result, error) {
@@ -156,8 +181,24 @@ type exec struct {
 
 	// armed gates instrumentation: false while a Hooks countdown
 	// (ArmAfter/OnArm) is still pending, so the prefix executes without
-	// any per-instruction hook dispatch.
-	armed bool
+	// any per-instruction hook dispatch. disarmed is the converse: a
+	// one-shot hook has declared (via Event.Disarm) that it will neither
+	// observe nor mutate anything for the rest of the launch, so the tail
+	// may run hook-free on the fast path.
+	armed    bool
+	disarmed bool
+
+	// Tier-1 fast-path state: the pre-decoded program (nil under
+	// NoFastPath) and the current tier choice, kept in sync with armed by
+	// recomputeFast.
+	dp   *dprog
+	fast bool
+
+	// scratch absorbs results of instructions whose destination is RZ so
+	// the fast path's lane loops carry no per-lane destination test;
+	// immRow broadcasts UseImmB immediates into row form.
+	scratch [WarpSize]uint32
+	immRow  [WarpSize]uint32
 
 	// Checkpoint capture state (RunCheckpointed only).
 	ckSink  func(*Snapshot)
@@ -199,7 +240,16 @@ func (ex *exec) runBlock(blockID int) error {
 		}
 		warps[w] = newWarp(w, lanes)
 	}
-	return ex.blockLoop(blockID, warps)
+	err := ex.blockLoop(blockID, warps)
+	if err == nil {
+		// Recycle the ~8 KB register files; snapshots hold deep copies,
+		// so nothing can still reference these warps. Error paths leave
+		// the warps to the GC (LaunchError does not retain them either,
+		// but recycling only the common path keeps the invariant easy to
+		// see).
+		releaseWarps(warps)
+	}
+	return err
 }
 
 // blockLoop drives a block's warps to completion from an arbitrary
@@ -220,8 +270,18 @@ func (ex *exec) blockLoop(blockID int, warps []*warp) error {
 				if !ex.armed && ex.res.DynThreadInstrs+WarpSize > ex.l.Hooks.ArmAfter {
 					ex.armed = true
 					ex.l.Hooks.OnArm(&ex.res)
+					ex.recomputeFast()
 				}
-				if err := ex.step(blockID, w); err != nil {
+				var err error
+				if ex.fast {
+					err = ex.stepFast(blockID, w)
+				} else {
+					err = ex.step(blockID, w)
+					if ex.disarmed {
+						ex.recomputeFast()
+					}
+				}
+				if err != nil {
 					return err
 				}
 			}

@@ -65,6 +65,15 @@ func (ex *exec) prepareEvent(blockID int, w *warp, pc int, in isa.Instr, guard u
 // ActiveCount returns the number of lanes executing the instruction.
 func (ev *Event) ActiveCount() int { return bits.OnesCount32(ev.Active) }
 
+// Disarm declares that this hook will neither observe nor mutate anything
+// for the rest of the launch: from the next instruction on, the emulator
+// stops invoking Pre/Post hooks and is free to run the tail on the
+// pre-decoded fast path. One-shot fault injectors call it right after
+// firing, so the (often long) post-fault tail does not pay per-instruction
+// event preparation. Calling it from a hook that would still have acted is
+// a caller bug: the remaining calls are silently skipped.
+func (ev *Event) Disarm() { ev.ex.disarmed = true }
+
 // NthActiveLane returns the lane index of the n-th (0-based) set bit of
 // Active, or -1 when n is out of range. Fault injectors use it to map a
 // global dynamic thread-instruction index onto a lane.

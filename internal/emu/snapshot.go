@@ -88,6 +88,7 @@ func Resume(l *Launch, s *Snapshot) (Result, error) {
 	if err := ex.blockLoop(s.block, warps); err != nil {
 		return ex.res, err
 	}
+	releaseWarps(warps) // the clones are block-final and unreferenced
 	for b := s.block + 1; b < l.Grid; b++ {
 		if err := ex.runBlock(b); err != nil {
 			return ex.res, err

@@ -3,6 +3,7 @@ package emu
 import (
 	"math"
 	"math/bits"
+	"sync"
 
 	"gpufi/internal/fp32"
 	"gpufi/internal/isa"
@@ -28,15 +29,36 @@ type warp struct {
 	done  bool
 }
 
+// warpPool recycles warp state across blocks and launches: a warp's
+// register file is ~8 KB, and a campaign's replays would otherwise
+// allocate one per warp per block per launch. newWarp resets recycled
+// warps in place to exactly the fresh-warp state, so pooling is
+// invisible to execution.
+var warpPool = sync.Pool{New: func() any { return new(warp) }}
+
 func newWarp(id, lanes int) *warp {
+	w := warpPool.Get().(*warp)
 	mask := uint32(0xFFFFFFFF)
 	if lanes < WarpSize {
 		mask = 1<<uint(lanes) - 1
 	}
-	w := &warp{id: id, live: mask}
+	w.id = id
+	w.live = mask
+	w.atBar = false
+	w.done = false
+	w.regs = [isa.NumRegs][WarpSize]uint32{}
+	w.preds = [isa.NumPreds]uint32{}
 	w.preds[isa.PT] = 0xFFFFFFFF
-	w.stack = append(w.stack, stackEntry{nextPC: 0, mask: mask, reconv: -1})
+	w.stack = append(w.stack[:0], stackEntry{nextPC: 0, mask: mask, reconv: -1})
 	return w
+}
+
+// releaseWarps returns block-final warps to the pool. Callers must not
+// retain any reference: snapshots are safe because they clone.
+func releaseWarps(warps []*warp) {
+	for _, w := range warps {
+		warpPool.Put(w)
+	}
 }
 
 // evalPred returns the lane mask where predicate p holds.
@@ -105,8 +127,10 @@ func (ex *exec) step(blockID int, w *warp) error {
 	guard := active & w.evalPred(in.Guard)
 
 	hooks := &ex.l.Hooks
+	prepared := false
 	if hooks.Pre != nil && ex.armed && guard != 0 {
 		ex.prepareEvent(blockID, w, pc, in, guard)
+		prepared = true
 		hooks.Pre(&ex.ev)
 		guard = active & w.evalPred(in.Guard) // the hook may have changed it
 	}
@@ -120,7 +144,11 @@ func (ex *exec) step(blockID int, w *warp) error {
 
 	capture := hooks.Post != nil && ex.armed && guard != 0
 	if capture {
-		ex.prepareEvent(blockID, w, pc, in, guard)
+		if prepared {
+			ex.ev.Active = guard // Pre may have changed the guard; the rest holds
+		} else {
+			ex.prepareEvent(blockID, w, pc, in, guard)
+		}
 	}
 
 	switch in.Op {

@@ -26,7 +26,7 @@ const (
 )
 
 const (
-	expBias = 127
+	expBias  = 127
 	quietNaN = 0x7FC00000
 )
 
@@ -95,8 +95,8 @@ func RoundPack(sign uint32, exp int32, frac uint64, pt int32) uint32 {
 	case msb < 47:
 		frac <<= 47 - msb
 	}
-	man := uint32(frac >> 24)          // 24-bit significand, leading one at bit 23
-	round := frac >> 23 & 1            // round bit
+	man := uint32(frac >> 24) // 24-bit significand, leading one at bit 23
+	round := frac >> 23 & 1   // round bit
 	stickyAll := frac&(1<<23-1) | sticky
 	if round == 1 && (stickyAll != 0 || man&1 == 1) {
 		man++
@@ -119,8 +119,42 @@ func Add(a, b float32) float32 {
 	return math.Float32frombits(AddBits(math.Float32bits(a), math.Float32bits(b)))
 }
 
-// AddBits is Add on raw IEEE bit patterns.
+// bothNormal reports whether both operands have a biased exponent in
+// [1, 0xFE] — finite, non-zero, not subnormal. On such inputs FTZ is
+// inert and the host's IEEE-754 binary32 arithmetic applies the same
+// single round-to-nearest-even the datapath functions below do.
+func bothNormal(ab, bb uint32) bool {
+	return (ab>>23&0xFF)-1 < 0xFE && (bb>>23&0xFF)-1 < 0xFE
+}
+
+// fastResult reports whether a natively computed result can be returned
+// bit-identically: biased exponent in [2, 0xFE]. Exponent 0xFF (overflow)
+// and 0 (zero or subnormal, where FTZ applies) clearly need the datapath;
+// exponent 1 is excluded too because near the 2^-126 boundary the native
+// rounding works on the subnormal grid while the datapath rounds on the
+// 24-bit normal grid and then flushes, and the two can disagree on
+// whether a value just below 2^-126 rounds up into the normal range.
+func fastResult(r uint32) bool {
+	return (r>>23&0xFF)-2 < 0xFD
+}
+
+// AddBits is Add on raw IEEE bit patterns. When both operands are normal
+// and the native sum's exponent is safely inside the normal range, the
+// host addition already performed the exact same single RNE rounding, so
+// its bits are returned directly; every FTZ, zero, overflow and special
+// case falls through to the bit-exact datapath.
 func AddBits(ab, bb uint32) uint32 {
+	if bothNormal(ab, bb) {
+		r := math.Float32bits(math.Float32frombits(ab) + math.Float32frombits(bb))
+		if fastResult(r) {
+			return r
+		}
+	}
+	return addBitsSlow(ab, bb)
+}
+
+// addBitsSlow is the unpack/align/add/round datapath for AddBits.
+func addBitsSlow(ab, bb uint32) uint32 {
 	x, y := Unpack(ab), Unpack(bb)
 	switch {
 	case x.Cls == ClsNaN || y.Cls == ClsNaN:
@@ -239,8 +273,20 @@ func Mul(a, b float32) float32 {
 	return math.Float32frombits(MulBits(math.Float32bits(a), math.Float32bits(b)))
 }
 
-// MulBits is Mul on raw IEEE bit patterns.
+// MulBits is Mul on raw IEEE bit patterns, with the same native shortcut
+// as AddBits (the 48-bit exact product rounds once either way).
 func MulBits(ab, bb uint32) uint32 {
+	if bothNormal(ab, bb) {
+		r := math.Float32bits(math.Float32frombits(ab) * math.Float32frombits(bb))
+		if fastResult(r) {
+			return r
+		}
+	}
+	return mulBitsSlow(ab, bb)
+}
+
+// mulBitsSlow is the unpack/multiply/round datapath for MulBits.
+func mulBitsSlow(ab, bb uint32) uint32 {
 	x, y := Unpack(ab), Unpack(bb)
 	sign := x.Sign ^ y.Sign
 	switch {
@@ -263,8 +309,33 @@ func Fma(a, b, c float32) float32 {
 	return math.Float32frombits(FmaBits(math.Float32bits(a), math.Float32bits(b), math.Float32bits(c)))
 }
 
-// FmaBits is Fma on raw IEEE bit patterns.
+// FmaBits is Fma on raw IEEE bit patterns. The native shortcut computes
+// through math.FMA on float64, which rounds the exact a*b+c once to 53
+// bits. Converting that to binary32 is a second rounding, which is only
+// hazardous when the 53-bit value lands exactly on a binary32 rounding
+// midpoint (low 29 mantissa bits = 0x10000000): the 53-bit rounding may
+// have manufactured or destroyed the tie, so those cases — about one in
+// 2^29 — fall back to the single-rounding datapath. Off the midpoint the
+// conversion's decision is unaffected by the at-most-half-ulp53 error,
+// because midpoints are themselves 53-bit values: a result that is not
+// one sits at least a full ulp53 away, twice the rounding error.
 func FmaBits(ab, bb, cb uint32) uint32 {
+	if bothNormal(ab, bb) && (cb>>23&0xFF)-1 < 0xFE {
+		r64 := math.FMA(
+			float64(math.Float32frombits(ab)),
+			float64(math.Float32frombits(bb)),
+			float64(math.Float32frombits(cb)))
+		if math.Float64bits(r64)&0x1FFFFFFF != 0x10000000 {
+			if r := math.Float32bits(float32(r64)); fastResult(r) {
+				return r
+			}
+		}
+	}
+	return fmaBitsSlow(ab, bb, cb)
+}
+
+// fmaBitsSlow is the unpack/multiply/align/add/round datapath for FmaBits.
+func fmaBitsSlow(ab, bb, cb uint32) uint32 {
 	x, y, z := Unpack(ab), Unpack(bb), Unpack(cb)
 	psign := x.Sign ^ y.Sign
 	// NaN and infinity handling.

@@ -345,3 +345,61 @@ func BenchmarkSin(b *testing.B) {
 		_ = Sin(0.7)
 	}
 }
+
+// boundaryBits enumerates operand bit patterns dense around every edge the
+// native shortcut's guards reason about: zeros, subnormals, the smallest
+// and largest normals, exponents where results straddle the flush and
+// overflow boundaries, and both signs of each.
+func boundaryBits() []uint32 {
+	exps := []uint32{0, 1, 2, 3, 0x3F, 0x40, 0x7D, 0x7E, 0x7F, 0x80, 0x81, 0xFC, 0xFD, 0xFE, 0xFF}
+	mans := []uint32{0, 1, 2, 0x400000, 0x7FFFFD, 0x7FFFFE, 0x7FFFFF}
+	var out []uint32
+	for _, s := range []uint32{0, 1} {
+		for _, e := range exps {
+			for _, m := range mans {
+				out = append(out, s<<31|e<<23|m)
+			}
+		}
+	}
+	return out
+}
+
+// TestNativeShortcutMatchesDatapath pins the native-arithmetic shortcuts
+// in AddBits/MulBits/FmaBits to the bit-exact align/round datapath: every
+// boundary-dense pair (and a random triple sweep for FMA) must produce
+// identical bits whichever path takes the result.
+func TestNativeShortcutMatchesDatapath(t *testing.T) {
+	vals := boundaryBits()
+	for _, a := range vals {
+		for _, b := range vals {
+			if got, want := AddBits(a, b), addBitsSlow(a, b); got != want {
+				t.Fatalf("AddBits(%#x, %#x) = %#x, datapath %#x", a, b, got, want)
+			}
+			if got, want := MulBits(a, b), mulBitsSlow(a, b); got != want {
+				t.Fatalf("MulBits(%#x, %#x) = %#x, datapath %#x", a, b, got, want)
+			}
+		}
+	}
+	for _, a := range vals {
+		for _, b := range vals {
+			for _, c := range []uint32{0, 0x3F800000, 0x00800000, 0x80800001, 0x7F7FFFFF} {
+				if got, want := FmaBits(a, b, c), fmaBitsSlow(a, b, c); got != want {
+					t.Fatalf("FmaBits(%#x, %#x, %#x) = %#x, datapath %#x", a, b, c, got, want)
+				}
+			}
+		}
+	}
+	r := stats.NewRNG(331)
+	for i := 0; i < 500000; i++ {
+		a, b, c := uint32(r.Uint64()), uint32(r.Uint64()), uint32(r.Uint64())
+		if got, want := FmaBits(a, b, c), fmaBitsSlow(a, b, c); got != want {
+			t.Fatalf("FmaBits(%#x, %#x, %#x) = %#x, datapath %#x", a, b, c, got, want)
+		}
+		if got, want := AddBits(a, b), addBitsSlow(a, b); got != want {
+			t.Fatalf("AddBits(%#x, %#x) = %#x, datapath %#x", a, b, got, want)
+		}
+		if got, want := MulBits(a, b), mulBitsSlow(a, b); got != want {
+			t.Fatalf("MulBits(%#x, %#x) = %#x, datapath %#x", a, b, got, want)
+		}
+	}
+}

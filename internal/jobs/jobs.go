@@ -18,6 +18,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"gpufi/internal/apps"
 	"gpufi/internal/cnn"
@@ -61,6 +62,11 @@ type Request struct {
 	NoPrune    bool `json:"no_prune,omitempty"`
 	NoCollapse bool `json:"no_collapse,omitempty"`
 
+	// Software jobs: force the reference (Tier 0) interpreter for every
+	// emulator run instead of the pre-decoded fast path; results are
+	// bit-identical either way.
+	NoFastPath bool `json:"no_fast_path,omitempty"`
+
 	// Characterize jobs.
 	Faults        int      `json:"faults,omitempty"`      // per micro campaign; default 2000
 	TMXMFaults    int      `json:"tmxm_faults,omitempty"` // per t-MxM campaign; default Faults
@@ -96,17 +102,17 @@ type CharUnitResult struct {
 // The instruction counters mirror swfi.Result and feed the job status
 // aggregate's sw telemetry block.
 type HPCUnitResult struct {
-	App           string       `json:"app"`
-	Model         string       `json:"model"`
-	Seed          uint64       `json:"seed"`
-	Tally         faults.Tally `json:"tally"`
-	PVF           float64      `json:"pvf"`
-	CILo          float64      `json:"ci_lo"`
-	CIHi          float64      `json:"ci_hi"`
-	SimInstrs       uint64 `json:"sim_instrs"`
-	SkippedInstrs   uint64 `json:"skipped_instrs"`
-	PrunedFaults    uint64 `json:"pruned_faults"`
-	CollapsedFaults uint64 `json:"collapsed_faults"`
+	App             string       `json:"app"`
+	Model           string       `json:"model"`
+	Seed            uint64       `json:"seed"`
+	Tally           faults.Tally `json:"tally"`
+	PVF             float64      `json:"pvf"`
+	CILo            float64      `json:"ci_lo"`
+	CIHi            float64      `json:"ci_hi"`
+	SimInstrs       uint64       `json:"sim_instrs"`
+	SkippedInstrs   uint64       `json:"skipped_instrs"`
+	PrunedFaults    uint64       `json:"pruned_faults"`
+	CollapsedFaults uint64       `json:"collapsed_faults"`
 }
 
 // CNNUnitResult is one completed (network, fault model) campaign. The
@@ -147,6 +153,26 @@ type runEnv struct {
 	db      *syndrome.DB // loaded syndrome DB for syndrome/tile models
 	char    *syndrome.DB // accumulating DB of a characterize job
 	mu      *sync.Mutex  // guards char against concurrent checkpoint marshal
+	sw      *swLive      // live software-campaign throughput, or nil
+}
+
+// swLive accumulates the wall-clock throughput of software-campaign
+// units run in this process. It deliberately lives outside the
+// checkpoint journal: unit results must stay bit-identical across
+// restarts and fabric merges, and wall time is not. The status block's
+// MIPS rates therefore cover live work only — units restored from a
+// journal contribute their instruction counters but no duration.
+type swLive struct {
+	sim, skipped, elapsedNS atomic.Uint64
+}
+
+func (l *swLive) note(sim, skipped, elapsedNS uint64) {
+	if l == nil {
+		return
+	}
+	l.sim.Add(sim)
+	l.skipped.Add(skipped)
+	l.elapsedNS.Add(elapsedNS)
 }
 
 // program is a compiled job: its ordered units plus whether running them
@@ -310,11 +336,13 @@ func compileHPC(req Request) (*program, error) {
 						Workload: w, Model: model, DB: env.db,
 						Injections: injections, Seed: seed, Workers: env.workers,
 						NoPrune: req.NoPrune, NoCollapse: req.NoCollapse,
-						Progress: progress,
+						NoFastPath: req.NoFastPath,
+						Progress:   progress,
 					})
 					if err != nil {
 						return nil, err
 					}
+					env.sw.note(res.SimInstrs, res.SkippedInstrs, uint64(res.Elapsed))
 					lo, hi := res.PVFCI()
 					return json.Marshal(HPCUnitResult{
 						App: spec.Name, Model: mname, Seed: seed,
@@ -367,11 +395,13 @@ func compileCNN(req Request) (*program, error) {
 					Net: net, Input: input, Model: model, DB: env.db,
 					Injections: injections, Seed: seed, Workers: env.workers,
 					NoPrune: req.NoPrune, NoCollapse: req.NoCollapse,
-					Critical: critical, Progress: progress,
+					NoFastPath: req.NoFastPath,
+					Critical:   critical, Progress: progress,
 				})
 				if err != nil {
 					return nil, err
 				}
+				env.sw.note(res.SimInstrs, res.SkippedInstrs, uint64(res.Elapsed))
 				return json.Marshal(CNNUnitResult{
 					Network: network, Model: mname, Seed: seed,
 					Tally: res.Tally, PVF: res.PVF(),

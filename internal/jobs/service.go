@@ -114,6 +114,8 @@ type Job struct {
 	done  atomic.Int64
 	total atomic.Int64
 
+	swLive swLive // live software-unit throughput; not journalled
+
 	mu            sync.Mutex
 	state         State
 	errMsg        string
@@ -160,13 +162,20 @@ type RTLTelemetry struct {
 // actually interpreted, instructions provably skipped by checkpoint
 // fast-forward, and the derived fast-forward speedup. It mirrors the rtl
 // block, including restart survival via the journalled unit results.
+// EmuMIPS is millions of interpreted instructions per wall-clock second
+// over the summed durations of units run in this process (restored units
+// carry counters but no duration); EffectiveMIPS counts the
+// fast-forward-skipped instructions too.
 type SWTelemetry struct {
 	Injections      int     `json:"injections"`
 	SimInstrs       uint64  `json:"sim_instrs"`
 	SkippedInstrs   uint64  `json:"skipped_instrs"`
 	PrunedFaults    uint64  `json:"pruned_faults"`
 	CollapsedFaults uint64  `json:"collapsed_faults"`
+	ElapsedNS       uint64  `json:"elapsed_ns,omitempty"`
 	FFSpeedup       float64 `json:"ff_speedup,omitempty"`
+	EmuMIPS         float64 `json:"emu_mips,omitempty"`
+	EffectiveMIPS   float64 `json:"effective_mips,omitempty"`
 	PruneRate       float64 `json:"prune_rate"`
 	CollapseRate    float64 `json:"collapse_rate"`
 }
@@ -256,6 +265,17 @@ func (j *Job) swTelemetry() *SWTelemetry {
 	// infinite speedup, which JSON cannot carry; the field is omitted (0).
 	if agg.SimInstrs > 0 {
 		agg.FFSpeedup = float64(agg.SimInstrs+agg.SkippedInstrs) / float64(agg.SimInstrs)
+	}
+	// Throughput comes from the live counters, not the journal: wall time
+	// is nondeterministic and must stay out of the bit-identical unit
+	// results, so units restored after a restart carry no duration and
+	// the rates cover work done in this process only.
+	if el := j.swLive.elapsedNS.Load(); el > 0 {
+		sec := float64(el) / 1e9
+		sim := j.swLive.sim.Load()
+		agg.ElapsedNS = el
+		agg.EmuMIPS = float64(sim) / sec / 1e6
+		agg.EffectiveMIPS = float64(sim+j.swLive.skipped.Load()) / sec / 1e6
 	}
 	if agg.Injections > 0 {
 		agg.PruneRate = float64(agg.PrunedFaults) / float64(agg.Injections)
@@ -573,7 +593,7 @@ func (s *Service) runJob(j *Job) {
 		fail(err)
 		return
 	}
-	env := &runEnv{workers: s.cfg.EngineWorkers, char: j.db, mu: &j.mu}
+	env := &runEnv{workers: s.cfg.EngineWorkers, char: j.db, mu: &j.mu, sw: &j.swLive}
 	if prog.needsDB {
 		db, err := loadSyndromeDB(j.req.DBPath)
 		if err != nil {

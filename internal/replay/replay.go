@@ -58,6 +58,10 @@ type Runner interface {
 type Plain struct {
 	Hooks emu.Hooks
 	Res   emu.Result
+
+	// NoFastPath forces the emulator's Tier-0 reference interpreter on
+	// every launch (see emu.Launch.NoFastPath).
+	NoFastPath bool
 }
 
 // Arena implements Runner.
@@ -66,6 +70,7 @@ func (p *Plain) Arena(words int) []uint32 { return make([]uint32, words) }
 // Launch implements Runner.
 func (p *Plain) Launch(l *emu.Launch) error {
 	l.Hooks = p.Hooks
+	l.NoFastPath = p.NoFastPath
 	res, err := emu.Run(l)
 	addResult(&p.Res, &res)
 	return err
@@ -268,6 +273,12 @@ type Recorder struct {
 	// stream for the backward dead-site scan, plus per-launch end marks.
 	capture func(*emu.Event)
 	lvc     *liveCapture
+
+	// NoFastPath forces the emulator's Tier-0 reference interpreter while
+	// recording. Without liveness capture a recording is hook-free and
+	// otherwise runs on the Tier-1 fast path (which marks the MemTrace
+	// bitmaps identically).
+	NoFastPath bool
 }
 
 // NewRecorder builds a Recorder snapshotting every `every`
@@ -303,6 +314,7 @@ func (r *Recorder) Launch(l *emu.Launch) error {
 	}
 	r.pre = append(r.pre[:0], r.g...)
 	l.Hooks = emu.Hooks{}
+	l.NoFastPath = r.NoFastPath
 	mt := emu.NewMemTrace(len(r.g))
 	l.Mem = mt
 	// Per-block segmentation: mt accumulates within one block at a time;
@@ -445,6 +457,13 @@ type Player struct {
 	// full replay's total as long as the replay tracks the golden run.
 	Live    emu.Result
 	Skipped uint64
+
+	// NoFastPath forces the emulator's Tier-0 reference interpreter for
+	// every simulated segment (see emu.Launch.NoFastPath). Without it the
+	// player picks tiers per segment: the unarmed countdown prefix, the
+	// post-fault tail and walked blocks run on the Tier-1 fast path;
+	// Tier 0 takes over only while injection hooks are armed.
+	NoFastPath bool
 }
 
 // NewPlayer builds a Player that arms hooks just before the target-th
@@ -554,6 +573,7 @@ func (p *Player) Arena(words int) []uint32 {
 func (p *Player) Launch(l *emu.Launch) error {
 	ord := p.ord
 	p.ord++
+	l.NoFastPath = p.NoFastPath
 	resumeOrd := -1
 	if p.ck != nil {
 		resumeOrd = p.ck.Launch

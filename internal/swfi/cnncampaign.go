@@ -6,6 +6,7 @@ import (
 	"math"
 	"runtime"
 	"sync/atomic"
+	"time"
 
 	"gpufi/internal/cnn"
 	"gpufi/internal/emu"
@@ -73,6 +74,11 @@ type CNNCampaign struct {
 	// see Campaign.NoCollapse.
 	NoCollapse bool
 
+	// NoFastPath forces the emulator's Tier-0 reference interpreter for
+	// every run this campaign issues; see Campaign.NoFastPath. Results
+	// are bit-identical either way.
+	NoFastPath bool
+
 	// Prepared, when non-nil, supplies a ready-made golden run, profile
 	// and checkpoint trace for Net/Input (from PrepareCNN), letting the
 	// three fault models share one preparation. Ignored when
@@ -101,6 +107,20 @@ type CNNResult struct {
 	// dead-site index and by equivalence collapsing; see Result.
 	PrunedFaults    uint64
 	CollapsedFaults uint64
+
+	// Elapsed is the campaign's wall-clock time, including preparation;
+	// see Result.Elapsed.
+	Elapsed time.Duration
+}
+
+// EmuMIPS is the emulated-instruction throughput of the campaign; see
+// Result.EmuMIPS.
+func (r *CNNResult) EmuMIPS() float64 { return mips(r.SimInstrs, r.Elapsed) }
+
+// EffectiveMIPS is the virtual throughput including skipped instructions;
+// see Result.EffectiveMIPS.
+func (r *CNNResult) EffectiveMIPS() float64 {
+	return mips(r.SimInstrs+r.SkippedInstrs, r.Elapsed)
 }
 
 // PruneRate is the fraction of injections the dead-site index classified
@@ -142,6 +162,7 @@ func RunCNN(c CNNCampaign) (*CNNResult, error) {
 // Per-injection RNG streams are derived from the seed and injection index,
 // so re-runs reproduce the campaign bit-identically.
 func RunCNNCtx(ctx context.Context, c CNNCampaign) (*CNNResult, error) {
+	start := time.Now()
 	if (c.Model == CNNSyndrome || c.Model == CNNTile) && c.DB == nil {
 		return nil, ErrNoDB
 	}
@@ -156,7 +177,7 @@ func RunCNNCtx(ctx context.Context, c CNNCampaign) (*CNNResult, error) {
 	switch {
 	case c.NoFastForward:
 		var err error
-		golden, err = c.Net.Run(c.Input, emu.Hooks{}, nil)
+		golden, err = c.Net.RunWith(&replay.Plain{NoFastPath: c.NoFastPath}, c.Input, nil)
 		if err != nil {
 			return nil, fmt.Errorf("swfi: golden CNN run failed: %w", err)
 		}
@@ -225,12 +246,13 @@ func RunCNNCtx(ctx context.Context, c CNNCampaign) (*CNNResult, error) {
 				// inj.Layer, so every launch up to and including it
 				// replays from the recorded write-sets.
 				p := replay.NewPlayerSkipTo(tr, inj.Layer, pools[i%workers])
+				p.NoFastPath = c.NoFastPath
 				out, err = c.Net.RunWith(p, c.Input, inj)
 				sim, skipped = p.Live.DynThreadInstrs, p.Skipped
 				simInstrs.Add(sim)
 				skippedInstrs.Add(skipped)
 			} else {
-				out, err = c.Net.Run(c.Input, emu.Hooks{}, inj)
+				out, err = c.Net.RunWith(&replay.Plain{NoFastPath: c.NoFastPath}, c.Input, inj)
 			}
 		default:
 			model := ModelBitFlip
@@ -258,12 +280,15 @@ func RunCNNCtx(ctx context.Context, c CNNCampaign) (*CNNResult, error) {
 					func(countDone uint64) { in.counter = countDone },
 					func() bool { return in.fired },
 					pools[i%workers])
+				p.NoFastPath = c.NoFastPath
 				out, err = c.Net.RunWith(p, c.Input, nil)
 				sim, skipped = p.Live.DynThreadInstrs, p.Skipped
 				simInstrs.Add(sim)
 				skippedInstrs.Add(skipped)
 			} else {
-				out, err = c.Net.Run(c.Input, emu.Hooks{Post: in.post}, nil)
+				out, err = c.Net.RunWith(&replay.Plain{
+					Hooks: emu.Hooks{Post: in.post}, NoFastPath: c.NoFastPath,
+				}, c.Input, nil)
 			}
 		}
 		switch {
@@ -316,6 +341,7 @@ func RunCNNCtx(ctx context.Context, c CNNCampaign) (*CNNResult, error) {
 	res.SkippedInstrs = skippedInstrs.Load()
 	res.PrunedFaults = prunedFaults.Load()
 	res.CollapsedFaults = collapsedFaults.Load()
+	res.Elapsed = time.Since(start)
 	return res, nil
 }
 

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math"
 	"sync/atomic"
+	"time"
 
 	"gpufi/internal/apps"
 	"gpufi/internal/emu"
@@ -138,7 +139,13 @@ type injector struct {
 }
 
 func (in *injector) post(ev *emu.Event) {
-	if in.fired || !Injectable(ev.Instr.Op) {
+	if in.fired {
+		// Already fired — and a fresh exec (the launch's next block, or a
+		// NoFastForward re-run) re-arms hooks, so disarm again here.
+		ev.Disarm()
+		return
+	}
+	if !Injectable(ev.Instr.Op) {
 		return
 	}
 	n := uint64(ev.ActiveCount())
@@ -152,6 +159,7 @@ func (in *injector) post(ev *emu.Event) {
 	in.op = ev.Instr.Op
 	old, ok := ev.DstValue(lane)
 	if !ok {
+		ev.Disarm()
 		return // defensive: Injectable ops all produce a value
 	}
 	in.oldBits = old
@@ -164,6 +172,10 @@ func (in *injector) post(ev *emu.Event) {
 	in.relErr = rel
 	in.newBits = corrupted
 	ev.CorruptDst(lane, corrupted)
+	// The fault has fired; every later call would hit the in.fired guard
+	// above and return. Telling the emulator lets the post-fault tail run
+	// hook-free on the fast path.
+	ev.Disarm()
 }
 
 // drawCorruption makes the corruption draws of a fired injection: given a
@@ -277,6 +289,13 @@ type Campaign struct {
 	// value, so equal targets do not imply equal corruptions.
 	NoCollapse bool
 
+	// NoFastPath forces the emulator's Tier-0 reference interpreter for
+	// every run this campaign issues instead of the pre-decoded Tier-1
+	// fast path (emu.Launch.NoFastPath). Results are bit-identical either
+	// way; the flag exists for regression comparison and for benchmarking
+	// the interpreter tiers themselves.
+	NoFastPath bool
+
 	// Prepared, when non-nil, supplies a ready-made golden run, profile
 	// and checkpoint trace for Workload (from PrepareWorkload), letting
 	// several campaigns on the same workload share one preparation. It is
@@ -334,6 +353,32 @@ type Result struct {
 	// impure host reading the arena between launches, e.g. quicksort's
 	// host-side partitioning).
 	NoReconvergeReason string
+
+	// Elapsed is the campaign's wall-clock time, including preparation.
+	// With SimInstrs/SkippedInstrs it yields the interpreter-throughput
+	// telemetry (EmuMIPS, EffectiveMIPS) operators watch for
+	// interpreter-tier regressions.
+	Elapsed time.Duration
+}
+
+// EmuMIPS is the emulated-instruction throughput of the campaign:
+// simulated thread-instructions per wall-clock microsecond (i.e. millions
+// of instructions per second). Zero on the NoFastForward path, where
+// sim/skip accounting is off.
+func (r *Result) EmuMIPS() float64 { return mips(r.SimInstrs, r.Elapsed) }
+
+// EffectiveMIPS is the virtual throughput including the instructions the
+// engine provably avoided simulating (fast-forward, pruning, collapsing):
+// (SimInstrs+SkippedInstrs) per wall-clock microsecond.
+func (r *Result) EffectiveMIPS() float64 {
+	return mips(r.SimInstrs+r.SkippedInstrs, r.Elapsed)
+}
+
+func mips(instrs uint64, d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(instrs) / d.Seconds() / 1e6
 }
 
 // PruneRate is the fraction of injections the dead-site index classified
@@ -378,6 +423,7 @@ func Run(c Campaign) (*Result, error) {
 // injection index, so re-running the same campaign — whole or after an
 // interruption — reproduces every injection bit-identically.
 func RunCtx(ctx context.Context, c Campaign) (*Result, error) {
+	start := time.Now()
 	if c.Model.NeedsDB() && c.DB == nil {
 		return nil, ErrNoDB
 	}
@@ -394,7 +440,7 @@ func RunCtx(ctx context.Context, c Campaign) (*Result, error) {
 	switch {
 	case c.NoFastForward:
 		var err error
-		golden, err = c.Workload.Execute(emu.Hooks{})
+		golden, err = c.Workload.ExecuteWith(&replay.Plain{NoFastPath: c.NoFastPath})
 		if err != nil {
 			return nil, fmt.Errorf("swfi: golden run of %s failed: %w", c.Workload.Name, err)
 		}
@@ -488,12 +534,15 @@ func RunCtx(ctx context.Context, c Campaign) (*Result, error) {
 				func(countDone uint64) { in.counter = countDone },
 				func() bool { return in.fired },
 				pools[i%workers])
+			p.NoFastPath = c.NoFastPath
 			out, err = c.Workload.ExecuteWith(p)
 			sim, skipped = p.Live.DynThreadInstrs, p.Skipped
 			simInstrs.Add(sim)
 			skippedInstrs.Add(skipped)
 		} else {
-			out, err = c.Workload.Execute(emu.Hooks{Post: in.post})
+			out, err = c.Workload.ExecuteWith(&replay.Plain{
+				Hooks: emu.Hooks{Post: in.post}, NoFastPath: c.NoFastPath,
+			})
 		}
 		var outcome faults.Outcome
 		switch {
@@ -564,6 +613,7 @@ func RunCtx(ctx context.Context, c Campaign) (*Result, error) {
 	res.SkippedInstrs = skippedInstrs.Load()
 	res.PrunedFaults = prunedFaults.Load()
 	res.CollapsedFaults = collapsedFaults.Load()
+	res.Elapsed = time.Since(start)
 	return res, nil
 }
 
